@@ -1,0 +1,42 @@
+"""Shared infrastructure for the per-figure benchmark files.
+
+Each ``test_*`` file regenerates one table or figure of the paper.  The
+pattern: the experiment driver runs once under ``benchmark.pedantic``
+(so ``pytest benchmarks/ --benchmark-only`` reports its wall time), and
+the paper-style result table is printed and archived under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a ResultTable and archive it as results/<name>.txt."""
+
+    def _publish(name: str, *tables) -> None:
+        rendered = "\n\n".join(table.render() for table in tables)
+        path = os.path.join(results_dir, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        sys.stderr.write("\n" + rendered + "\n")
+
+    return _publish
+
+
+def run_once(benchmark, fn):
+    """Run the experiment driver exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,69 @@
+"""Ablation — what each filtering stage buys (DESIGN.md ablation index).
+
+Toggles LF-only / +DF / +NLCF / +refinement on a labeled workload and
+reports candidate-set inflation and enumeration cost.  The paper's
+claims being checked: every stage keeps completeness (Section 3.5)
+while monotonically shrinking the index and the search.
+"""
+
+from conftest import run_once
+from repro import CECIMatcher
+from repro.bench import ResultTable, load_dataset
+from repro.graph import generate_query_set, inject_labels
+
+CONFIGS = [
+    ("LF only", dict(use_degree_filter=False, use_nlc_filter=False,
+                     use_cascade=False, use_refinement=False)),
+    ("LF+DF", dict(use_nlc_filter=False, use_cascade=False,
+                   use_refinement=False)),
+    ("LF+DF+NLCF", dict(use_cascade=False, use_refinement=False)),
+    ("+cascade", dict(use_refinement=False)),
+    ("+refinement (full)", dict()),
+]
+
+
+def test_ablation_filters(benchmark, publish):
+    def experiment():
+        from repro.bench.datasets import warm
+
+        data = warm(inject_labels(load_dataset("LJ"), 4, seed=3))
+        queries = generate_query_set(data, 6, 5, seed=21)
+        table = ResultTable(
+            "Ablation: filtering stages (labeled LJ, 6-vertex queries)",
+            ["configuration", "index edges", "refinement removals",
+             "recursive calls"],
+        )
+        index_sizes = {}
+        call_counts = {}
+        reference = None
+        for label, options in CONFIGS:
+            total_edges = total_calls = total_removed = 0
+            results = []
+            for query in queries:
+                matcher = CECIMatcher(query, data, **options)
+                results.append(sorted(matcher.match()))
+                stats = matcher.stats
+                total_edges += (
+                    stats.te_candidate_edges + stats.nte_candidate_edges
+                )
+                total_calls += stats.recursive_calls
+                total_removed += stats.removed_by_refinement
+            if reference is None:
+                reference = results
+            assert results == reference, f"{label} changed the output"
+            index_sizes[label] = total_edges
+            call_counts[label] = total_calls
+            table.add(configuration=label,
+                      **{"index edges": total_edges,
+                         "refinement removals": total_removed,
+                         "recursive calls": total_calls})
+        table.note("every stage preserves the embedding set (completeness) "
+                   "while shrinking index and search")
+        return table, index_sizes, call_counts
+
+    table, index_sizes, call_counts = run_once(benchmark, experiment)
+    publish("ablation_filters", table)
+    labels = [label for label, _ in CONFIGS]
+    for weaker, stronger in zip(labels, labels[1:]):
+        assert index_sizes[stronger] <= index_sizes[weaker]
+        assert call_counts[stronger] <= call_counts[weaker]

@@ -1,0 +1,68 @@
+"""Figure 8 — CECI vs DualSim vs PsgL on QG2, QG3 and QG5 over the WG,
+WT and LJ analogs (all embeddings).
+
+Paper result: average speedups of 19.7x / 49.3x / 86.7x over PsgL and
+2.5x / 1.7x / 19.8x over DualSim for QG2 / QG3 / QG5 — CECI wins
+everywhere with real work, and the margin grows with query complexity
+(QG5's five levels leave the most room for pruning).
+"""
+
+import time
+
+from conftest import run_once
+from repro import CECIMatcher
+from repro.baselines import DualSimMatcher, PsgLMatcher
+from repro.bench import ResultTable, geometric_mean, load_dataset, query_graph
+
+DATASETS = ["WG", "WT", "LJ"]
+QUERIES = ["QG2", "QG3", "QG5"]
+AT_SCALE_ENUM_SHARE = 0.5  # paper regime: enumeration >95% of runtime
+
+
+def test_fig08_more_queries(benchmark, publish):
+    def experiment():
+        table = ResultTable(
+            "Figure 8: runtime in seconds, all embeddings",
+            ["Query", "Dataset", "embeddings", "CECI", "DualSim", "PsgL",
+             "vs DualSim", "vs PsgL", "at scale"],
+        )
+        at_scale_psgl = []
+        for qname in QUERIES:
+            query = query_graph(qname)
+            for abbr in DATASETS:
+                data = load_dataset(abbr)
+                started = time.perf_counter()
+                ceci = CECIMatcher(query, data)
+                count = ceci.count()
+                ceci_t = time.perf_counter() - started
+                phases = ceci.stats.phase_seconds
+                share = phases.get("enumerate", 0.0) / (sum(phases.values()) or 1.0)
+
+                started = time.perf_counter()
+                dual_count = len(DualSimMatcher(query, data).match())
+                dual_t = time.perf_counter() - started
+
+                started = time.perf_counter()
+                psgl_count = len(PsgLMatcher(query, data).match())
+                psgl_t = time.perf_counter() - started
+
+                assert count == dual_count == psgl_count
+                at_scale = share >= AT_SCALE_ENUM_SHARE
+                psgl_ratio = psgl_t / ceci_t if ceci_t > 0 else 1.0
+                if at_scale:
+                    at_scale_psgl.append(psgl_ratio)
+                table.add(Query=qname, Dataset=abbr, embeddings=count,
+                          CECI=ceci_t, DualSim=dual_t, PsgL=psgl_t,
+                          **{"vs DualSim": dual_t / ceci_t if ceci_t else 1.0,
+                             "vs PsgL": psgl_ratio,
+                             "at scale": "Y" if at_scale else "-"})
+        table.note(
+            f"at-scale geomean speedup vs PsgL "
+            f"{geometric_mean(at_scale_psgl):.2f}x "
+            "(paper averages 19.7x-86.7x on graphs 1000x larger)"
+        )
+        return table, at_scale_psgl
+
+    table, at_scale_psgl = run_once(benchmark, experiment)
+    publish("fig08_more_queries", table)
+    assert geometric_mean(at_scale_psgl) > 1.0

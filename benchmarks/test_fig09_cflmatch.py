@@ -1,0 +1,93 @@
+"""Figure 9 — CECI vs CFLMatch, first 1,024 embeddings of DFS-generated
+labeled queries of growing size, on the RD and HU analogs.
+
+Paper protocol (Section 6.2): RD gets random labels injected (100 on
+their 0.5M-vertex graph; scaled here to 8 so candidates-per-label stays
+in the paper's regime); HU is natively multi-labeled (CECI uses all
+labels, CFLMatch only the first); queries of growing size are
+DFS-extracted so each has at least one embedding; both systems run
+single-threaded and stop at 1,024 embeddings.
+
+Paper result: CECI wins by ~3.5x on RD and ~1.9x on HU.  NOTE: this
+reimplementation of CFLMatch deliberately shares CECI's optimized
+filtering and enumeration substrate (differing only in its TE-only CPI,
+edge verification, and core-forest-leaf order), which makes it a far
+stronger baseline than the original C++ binary.  On small queries the
+two run at parity; on the largest low-selectivity queries CFLMatch's
+missing NTE refinement explodes — at size 24 on RD we measured ~30x
+(and at 8 labels, ~2500x — capped out of the default run for time),
+which is the very effect the paper credits CECI's NTE candidates for.
+The mechanism is additionally isolated by
+``test_ablation_intersection.py``.
+"""
+
+import time
+
+from conftest import run_once
+from repro import CECIMatcher
+from repro.baselines import CFLMatcher
+from repro.bench import ResultTable, geometric_mean, load_dataset
+from repro.bench.datasets import warm
+from repro.graph import generate_query_set, inject_labels, relabel_with
+
+QUERY_SIZES = [4, 8, 12, 16, 24]
+QUERIES_PER_SIZE = 5
+LIMIT = 1024
+RD_LABELS = 16  # paper's 100 labels on 0.5M vertices, selectivity-scaled
+
+
+def test_fig09_cflmatch(benchmark, publish):
+    def experiment():
+        table = ResultTable(
+            "Figure 9: avg runtime (ms) for first 1,024 embeddings",
+            ["Dataset", "|Vq|", "CECI(ms)", "CFLMatch(ms)", "speedup"],
+        )
+        ratios = []
+        for abbr in ("RD", "HU"):
+            data = load_dataset(abbr)
+            keep_all = abbr == "HU"  # CECI exploits HU's multi-labels
+            if abbr == "RD":
+                data = warm(inject_labels(data, RD_LABELS, seed=9))
+            for size in QUERY_SIZES:
+                queries = generate_query_set(
+                    data, size, QUERIES_PER_SIZE, seed=size * 11,
+                    keep_all_labels=keep_all,
+                )
+                ceci_total = cfl_total = 0.0
+                for query in queries:
+                    started = time.perf_counter()
+                    found = CECIMatcher(
+                        query, data, order_strategy="edge_ranked"
+                    ).match(limit=LIMIT)
+                    ceci_total += time.perf_counter() - started
+                    assert found, "DFS queries must embed at least once"
+
+                    # CFLMatch only sees the primary label per vertex.
+                    cfl_query = query if not keep_all else relabel_with(
+                        query, [query.label_of(u) for u in query.vertices()]
+                    )
+                    started = time.perf_counter()
+                    CFLMatcher(cfl_query, data).match(limit=LIMIT)
+                    cfl_total += time.perf_counter() - started
+                ratio = cfl_total / ceci_total if ceci_total > 0 else 1.0
+                ratios.append(ratio)
+                table.add(Dataset=abbr, **{
+                    "|Vq|": size,
+                    "CECI(ms)": 1000 * ceci_total / QUERIES_PER_SIZE,
+                    "CFLMatch(ms)": 1000 * cfl_total / QUERIES_PER_SIZE,
+                    "speedup": ratio,
+                })
+        table.note(
+            f"geomean speedup {geometric_mean(ratios):.2f}x "
+            "(paper: 3.5x on RD, 1.9x on HU vs the original C++ CFLMatch; "
+            "this CFLMatch shares CECI's substrate — see module docstring)"
+        )
+        return table, ratios
+
+    table, ratios = run_once(benchmark, experiment)
+    publish("fig09_cflmatch", table)
+    # Shape: CECI stays at or above parity overall with a CFLMatch that
+    # borrows its whole substrate, and wins clearly on the largest
+    # low-selectivity queries (where NTE refinement pays off).
+    assert geometric_mean(ratios) > 0.8
+    assert max(ratios) > 2.0

@@ -1,0 +1,44 @@
+"""Figure 16 — distributed speedup with the data graph replicated in
+each machine's memory, QG1 and QG4, 1..16 machines.
+
+Paper result: up to 13.72x (QG1) / 14.92x (QG4) at 16 machines on FS;
+smaller graphs flatten earlier for lack of workload.
+"""
+
+from conftest import run_once
+from repro.bench import ResultTable, load_dataset, query_graph
+from repro.distributed import DistributedCECI
+
+MACHINES = [1, 2, 4, 8, 16]
+
+
+def test_fig16_dist_memory(benchmark, publish):
+    def experiment():
+        table = ResultTable(
+            "Figure 16: distributed speedup, in-memory replicated graph",
+            ["Query", "Dataset"] + [f"M={m}" for m in MACHINES],
+        )
+        curves = {}
+        for qname in ("QG1", "QG4"):
+            query = query_graph(qname)
+            for abbr in ("FS", "OK"):
+                data = load_dataset(abbr)
+                base = None
+                speedups = {}
+                for machines in MACHINES:
+                    result = DistributedCECI(
+                        query, data, num_machines=machines, mode="memory"
+                    ).run()
+                    if base is None:
+                        base = result.total_time
+                    speedups[machines] = base / result.total_time
+                curves[(qname, abbr)] = speedups
+                table.add(Query=qname, Dataset=abbr,
+                          **{f"M={m}": speedups[m] for m in MACHINES})
+        table.note("paper: 13.72x (QG1) / 14.92x (QG4) at 16 machines on FS")
+        return table, curves
+
+    table, curves = run_once(benchmark, experiment)
+    publish("fig16_dist_memory", table)
+    for key, speedups in curves.items():
+        assert speedups[16] > speedups[4] > speedups[1] * 1.5, key

@@ -1,0 +1,26 @@
+"""Table 1 — the dataset inventory and its scaled analogs."""
+
+from conftest import run_once
+from repro.bench import ResultTable, table1_rows
+
+
+def test_table1_datasets(benchmark, publish):
+    def experiment():
+        table = ResultTable(
+            "Table 1: datasets (paper size -> analog size)",
+            ["Abbr", "Dataset", "paper |V|", "paper |E|", "Directed",
+             "analog |V|", "analog |E|"],
+        )
+        for abbr, full, pv, pe, directed, av, ae in table1_rows():
+            table.add(**{
+                "Abbr": abbr, "Dataset": full, "paper |V|": pv,
+                "paper |E|": pe, "Directed": directed,
+                "analog |V|": av, "analog |E|": ae,
+            })
+        table.note("analogs keep generator family, density class, "
+                   "directedness and label regime at ~1/1000 scale")
+        return table
+
+    table = run_once(benchmark, experiment)
+    publish("table1_datasets", table)
+    assert len(table.rows) == 10

@@ -1,0 +1,64 @@
+"""Table 2 — CECI index size vs the theoretical ``|Eq| x |Eg| x 8``
+bound for QG1..QG5 across six data graphs.
+
+Paper result: BFS filtering plus reverse-BFS refinement cut the stored
+index to roughly half the theoretical bound (31%-88% saved depending on
+the pair) — e.g. QG5 on YH: 290 GB stored vs 624 GB theoretical.
+"""
+
+from conftest import run_once
+from repro import CECIMatcher
+from repro.bench import ResultTable, load_dataset, query_graph
+
+DATASETS = ["FS", "LJ", "OK", "WT", "YH", "YT"]
+QUERIES = ["QG1", "QG2", "QG3", "QG4", "QG5"]
+
+
+def test_table2_ceci_size(benchmark, publish):
+    def experiment():
+        table = ResultTable(
+            "Table 2: CECI size in KB (theoretical KB) [% saved]",
+            ["Query"] + DATASETS,
+        )
+        savings = []
+        for qname in QUERIES:
+            query = query_graph(qname)
+            row = {"Query": qname}
+            for abbr in DATASETS:
+                data = load_dataset(abbr)
+                matcher = CECIMatcher(query, data)
+                matcher.build()
+                stats = matcher.stats
+                actual_kb = stats.index_bytes / 1024
+                theoretical_kb = stats.theoretical_bytes(
+                    query.num_edges, data.num_edges
+                ) / 1024
+                saved = stats.space_saved_percent(
+                    query.num_edges, data.num_edges
+                )
+                savings.append(saved)
+                row[abbr] = f"{actual_kb:.1f} ({theoretical_kb:.0f}) [{saved:.0f}%]"
+            table.add(**row)
+        table.note("paper saves 31%-88% of the theoretical bound; "
+                   "e.g. QG5xYH: 290 GB actual vs 624 GB theoretical (2.2x)")
+        table.note("the analogs' low-degree tail is thinner than real "
+                   "SNAP graphs', so absolute savings are smaller here; "
+                   "the *ordering* matches — star-heavy WT saves the most, "
+                   "exactly as in the paper's WT column")
+        return table, savings
+
+    table, savings = run_once(benchmark, experiment)
+    publish("table2_ceci_size", table)
+    # Shape: the index always fits strictly under the bound, savings are
+    # material on average, and the star-heavy WT analog saves the most
+    # (the paper's WT column is also its best: 83%-88%).
+    assert all(s > 0.0 for s in savings)
+    assert sum(savings) / len(savings) > 5.0
+    per_dataset = {}
+    for row in table.rows:
+        for abbr in DATASETS:
+            cell = str(row[abbr])
+            saved = float(cell.split("[")[1].rstrip("%]"))
+            per_dataset.setdefault(abbr, []).append(saved)
+    averages = {a: sum(v) / len(v) for a, v in per_dataset.items()}
+    assert max(averages, key=averages.get) == "WT"

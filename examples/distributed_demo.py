@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Distributed CECI on a simulated 16-machine cluster (Section 5).
+
+Shows both storage designs — replicated in-memory graph vs a shared
+lustre-like CSR store — with lightweight pivot partitioning, Jaccard
+co-location, and MPI_Get-style work stealing.  Machine counts sweep
+1..16 like Figures 16/17.
+
+Run:  python examples/distributed_demo.py
+"""
+
+from repro import CECIMatcher
+from repro.bench import QG1
+from repro.distributed import DistributedCECI
+from repro.graph import power_law
+
+data = power_law(num_vertices=2000, edges_per_vertex=6, seed=88, name="FS-ish")
+sequential = CECIMatcher(QG1, data).count()
+print(f"data graph: {data.num_vertices} vertices, {data.num_edges} edges; "
+      f"{sequential} triangle embeddings\n")
+
+for mode, label in (("memory", "replicated in-memory graph"),
+                    ("shared", "shared CSR storage (lustre-like)")):
+    print(f"--- {label} ---")
+    base_time = None
+    print(f"{'machines':>9} {'total':>10} {'constr':>10} {'enum':>9} "
+          f"{'steals':>7} {'speedup':>8}")
+    for machines in (1, 2, 4, 8, 16):
+        result = DistributedCECI(
+            QG1, data, num_machines=machines, mode=mode
+        ).run()
+        assert len(result.embeddings) == sequential
+        if base_time is None:
+            base_time = result.total_time
+        steals = sum(r.steals for r in result.reports)
+        print(f"{machines:>9} {result.total_time:>10.0f} "
+              f"{result.construction_makespan:>10.0f} "
+              f"{result.enumeration_makespan:>9.0f} {steals:>7} "
+              f"{base_time / result.total_time:>7.2f}x")
+    breakdown = result.construction_breakdown()
+    print(f"construction breakdown at 16 machines: "
+          f"io={breakdown['io']:.0f} comm={breakdown['comm']:.0f} "
+          f"compute={breakdown['compute']:.0f}\n")
+
+print("Both modes enumerate the identical embedding set; the shared mode "
+      "trades per-machine memory for IO during CECI construction.")

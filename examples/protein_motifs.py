@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Motif search in a synthetic protein-interaction-style network.
+
+The paper's introduction motivates subgraph listing with the analysis of
+protein-protein interaction networks [44]: counting small *motifs*
+(triangles, cliques, houses) characterizes local interaction structure.
+This example generates a power-law PPI-like network, counts the five
+Figure 6 motifs with automorphism breaking (each physical motif counted
+exactly once), and shows how embedding clusters distribute the work.
+
+Run:  python examples/protein_motifs.py
+"""
+
+from repro import CECIMatcher
+from repro.bench import QUERY_GRAPHS
+from repro.graph import power_law
+
+# A PPI-style network: heavy-tailed degree distribution, one component.
+network = power_law(num_vertices=1500, edges_per_vertex=4, seed=2026,
+                    name="synthetic-PPI")
+print(f"network: {network.num_vertices} proteins, "
+      f"{network.num_edges} interactions, "
+      f"max degree {network.degree_sequence()[0]}")
+
+print(f"\n{'motif':6} {'count':>10} {'|Aut|':>6} {'clusters':>9} "
+      f"{'recursive calls':>16}")
+for name, motif in QUERY_GRAPHS.items():
+    matcher = CECIMatcher(motif, network)
+    count = matcher.count()
+    clusters = len(matcher.build().pivots)
+    print(
+        f"{name:6} {count:>10} {matcher.symmetry.automorphism_count():>6} "
+        f"{clusters:>9} {matcher.stats.recursive_calls:>16}"
+    )
+
+# ----------------------------------------------------------------------
+# Motif participation: which proteins sit in the most triangles?  The
+# embedding clusters answer this directly — the cluster of pivot v holds
+# exactly the motifs led by v under the matching order.
+# ----------------------------------------------------------------------
+triangle = QUERY_GRAPHS["QG1"]
+matcher = CECIMatcher(triangle, network)
+participation: dict = {}
+for embedding in matcher.embeddings():
+    for protein in embedding:
+        participation[protein] = participation.get(protein, 0) + 1
+
+top = sorted(participation.items(), key=lambda kv: -kv[1])[:5]
+print("\nproteins in the most triangles:")
+for protein, triangles in top:
+    print(f"  protein {protein:>5}: {triangles} triangles "
+          f"(degree {network.degree(protein)})")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: build a labeled graph, match a query, inspect the index.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import CECIMatcher, Graph, match
+
+# ----------------------------------------------------------------------
+# 1. A small labeled data graph: two "communities" around hubs.
+# ----------------------------------------------------------------------
+data = Graph(
+    num_vertices=9,
+    edges=[
+        (0, 1), (0, 2), (1, 2),          # triangle of A-B-C
+        (2, 3), (3, 4), (2, 4),          # triangle of C-B-A
+        (4, 5), (5, 6), (4, 6),          # triangle of A-B-C
+        (6, 7), (7, 8),                  # a tail
+    ],
+    labels=["A", "B", "C", "B", "A", "B", "C", "B", "A"],
+    name="quickstart-data",
+)
+
+# ----------------------------------------------------------------------
+# 2. The query: an A-B-C triangle.
+# ----------------------------------------------------------------------
+query = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["A", "B", "C"])
+
+# One-liner API ---------------------------------------------------------
+embeddings = match(query, data)
+print(f"{len(embeddings)} embeddings of the A-B-C triangle:")
+for embedding in embeddings:
+    mapping = ", ".join(
+        f"u{u}->v{v}" for u, v in enumerate(embedding)
+    )
+    print(f"  {mapping}")
+
+# ----------------------------------------------------------------------
+# 3. The full matcher object exposes the pipeline and its statistics.
+# ----------------------------------------------------------------------
+matcher = CECIMatcher(query, data)
+ceci = matcher.build()
+print("\nCECI index:")
+print(f"  root query vertex : u{matcher.tree.root}")
+print(f"  matching order    : {[f'u{u}' for u in matcher.tree.order]}")
+print(f"  embedding clusters: {len(ceci.pivots)} (pivots {ceci.pivots})")
+print(f"  TE candidate edges: {ceci.te_edge_count()}")
+print(f"  NTE candidate edges: {ceci.nte_edge_count()}")
+
+found = matcher.match()
+stats = matcher.stats
+print("\nEnumeration statistics:")
+print(f"  embeddings found  : {stats.embeddings_found}")
+print(f"  recursive calls   : {stats.recursive_calls}")
+print(f"  set intersections : {stats.intersections}")
+print(f"  index size        : {stats.index_bytes} bytes "
+      f"(theoretical bound {stats.theoretical_bytes(query.num_edges, data.num_edges)})")

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Continuous pattern detection on an evolving graph.
+
+A fraud-detection-flavored scenario: transactions stream into an
+interaction graph, and a watchlist pattern (a diamond of accounts — two
+disjoint paths between the same pair) must be flagged the moment it
+completes.  ``ContinuousQuery`` reports the exact embedding delta per
+edge update, without re-running matching over the whole graph.
+
+Run:  python examples/streaming_watchlist.py
+"""
+
+import random
+
+from repro import Graph
+from repro.streaming import ContinuousQuery, DynamicGraph
+
+rng = random.Random(404)
+
+# Accounts: 60 nodes, transactions stream in.
+network = DynamicGraph(60)
+diamond = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], name="watch")
+
+watch = ContinuousQuery(diamond, network)
+print(f"watching for {diamond.name!r} "
+      f"({diamond.num_vertices} accounts, {diamond.num_edges} links)\n")
+
+alerts = 0
+for step in range(400):
+    a, b = rng.randrange(60), rng.randrange(60)
+    if a == b:
+        continue
+    if network.has_edge(a, b) and rng.random() < 0.25:
+        delta = watch.delete_edge(a, b)
+        if delta.destroyed:
+            print(f"step {step:3}: link {a}-{b} removed, "
+                  f"{len(delta.destroyed)} pattern(s) dissolved "
+                  f"({len(watch.current_matches)} active)")
+    else:
+        delta = watch.insert_edge(a, b)
+        if delta.created:
+            alerts += len(delta.created)
+            first = delta.created[0]
+            print(f"step {step:3}: link {a}-{b} completed "
+                  f"{len(delta.created)} pattern(s), e.g. accounts "
+                  f"{tuple(first)} ({len(watch.current_matches)} active)")
+
+print(f"\n{alerts} pattern completions flagged across the stream; "
+      f"{len(watch.current_matches)} instances live at the end")
+
+# The maintained set is exact: compare against a full re-match.
+from repro import match  # noqa: E402
+
+full = set(match(diamond, network.snapshot()))
+print(f"exactness check vs full re-enumeration: "
+      f"{watch.current_matches == full}")

@@ -1,0 +1,47 @@
+"""Every competitor the paper evaluates against, reimplemented.
+
+All matchers share one calling convention: construct with
+``(query, data, break_automorphisms=True)``, then ``match(limit=None)``
+returns embeddings as tuples indexed by query vertex — identical to
+:class:`repro.core.CECIMatcher` output, so results are directly
+comparable across algorithms (the test suite asserts exactly that).
+"""
+
+from .bare import BareMatcher, bare_match
+from .cflmatch import CFLMatcher, cflmatch_match, core_forest_leaf
+from .dualsim import DualSimMatcher, PageStore, dualsim_match
+from .psgl import PsgLMatcher, psgl_match
+from .quicksi import QuickSIMatcher, quicksi_match
+from .turboiso import (
+    BoostedTurboIsoMatcher,
+    TurboIsoMatcher,
+    boosted_turboiso_match,
+    data_vertex_classes,
+    turboiso_match,
+)
+from .ullmann import UllmannMatcher, ullmann_match
+from .vf2 import VF2Matcher, vf2_match
+
+__all__ = [
+    "BareMatcher",
+    "BoostedTurboIsoMatcher",
+    "CFLMatcher",
+    "DualSimMatcher",
+    "PageStore",
+    "PsgLMatcher",
+    "QuickSIMatcher",
+    "TurboIsoMatcher",
+    "UllmannMatcher",
+    "VF2Matcher",
+    "bare_match",
+    "boosted_turboiso_match",
+    "cflmatch_match",
+    "core_forest_leaf",
+    "data_vertex_classes",
+    "dualsim_match",
+    "psgl_match",
+    "quicksi_match",
+    "turboiso_match",
+    "ullmann_match",
+    "vf2_match",
+]

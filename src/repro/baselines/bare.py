@@ -1,0 +1,132 @@
+"""Bare-graph parallel subgraph listing — the Figure 19 baseline.
+
+Section 6.6: "We implement a baseline parallel subgraph listing solution
+using graphs only and compared it with CECI based listing."  This is
+exactly that: pivot-partitioned backtracking straight on the data graph
+with nothing but the label and degree checks — no CECI, no NLC filter,
+no refinement, no intersection lists.  Work is still splittable by pivot
+(so it parallelizes the same way), which isolates the index's
+contribution from the cluster-parallelism contribution in the speedup
+breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph import Graph
+from ..core.automorphism import SymmetryBreaker
+from ..core.query_tree import QueryTree
+from ..core.stats import MatchStats
+
+__all__ = ["BareMatcher", "bare_match"]
+
+
+class BareMatcher:
+    """Index-free backtracking along a BFS query tree."""
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        break_automorphisms: bool = True,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        self.query = query
+        self.data = data
+        self.stats = stats if stats is not None else MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        # Root by degree only — without candidate scans the |cand|/deg
+        # rule is unavailable; that is part of being "bare".
+        root = max(query.vertices(), key=lambda u: (query.degree(u), -u))
+        self.tree = QueryTree(query, root)
+
+    def pivots(self) -> List[int]:
+        """Label/degree-feasible matches of the root — the same cluster
+        partitioning CECI uses, but unfiltered beyond LF/DF."""
+        u0 = self.tree.root
+        labels = self.query.labels_of(u0)
+        degree = self.query.degree(u0)
+        return [
+            v
+            for v in self.data.vertices()
+            if self.data.label_matches(labels, v)
+            and self.data.degree(v) >= degree
+        ]
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings pivot by pivot."""
+        remaining = [limit]
+        for pivot in self.pivots():
+            yield from self.embeddings_from_pivot(pivot, remaining)
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def embeddings_from_pivot(
+        self, pivot: int, remaining: Optional[List[Optional[int]]] = None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Enumerate one pivot's cluster (the parallel work unit)."""
+        if remaining is None:
+            remaining = [None]
+        mapping = [-1] * self.query.num_vertices
+        if not self.symmetry.admissible(self.tree.root, pivot, mapping):
+            return
+        mapping[self.tree.root] = pivot
+        yield from self._extend(1, mapping, {pivot}, remaining)
+
+    def _extend(
+        self,
+        depth: int,
+        mapping: List[int],
+        used: Set[int],
+        remaining: List[Optional[int]],
+    ) -> Iterator[Tuple[int, ...]]:
+        self.stats.recursive_calls += 1
+        if depth == len(self.tree.order):
+            self.stats.embeddings_found += 1
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            yield tuple(mapping)
+            return
+        u = self.tree.order[depth]
+        labels = self.query.labels_of(u)
+        degree_u = self.query.degree(u)
+        v_p = mapping[self.tree.parent[u]]
+        for v in self.data.neighbors(v_p):
+            if v in used:
+                continue
+            if not self.data.label_matches(labels, v):
+                continue
+            if self.data.degree(v) < degree_u:
+                continue
+            ok = True
+            for u_n in self.tree.nte_parents[u]:
+                self.stats.edge_verifications += 1
+                if not self.data.has_edge(v, mapping[u_n]):
+                    ok = False
+                    break
+            if not ok or not self.symmetry.admissible(u, v, mapping):
+                continue
+            mapping[u] = v
+            used.add(v)
+            yield from self._extend(depth + 1, mapping, used, remaining)
+            used.discard(v)
+            mapping[u] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def match(self, limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """All embeddings (or first ``limit``) as a list."""
+        return list(self.embeddings(limit))
+
+
+def bare_match(
+    query: Graph,
+    data: Graph,
+    limit: Optional[int] = None,
+    break_automorphisms: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Functional one-shot wrapper."""
+    return BareMatcher(query, data, break_automorphisms).match(limit)

@@ -1,0 +1,232 @@
+"""DualSim (Kim et al., 2016) — reference [24].
+
+DualSim enumerates subgraphs from a *disk-resident* graph on a single
+machine: the adjacency lists live in fixed-size slotted pages, a bounded
+buffer holds a few pages at a time, and matching runs against whatever
+combination of pages is loaded ("dual approach": pages drive the
+iteration, not vertices).  Its performance profile — the one the paper's
+Figures 7/8 compare against — is IO-bound: compute is cheap but every
+adjacency access outside the buffer costs a page load.
+
+This reimplementation keeps the strategy and makes the IO model
+explicit:
+
+* :class:`PageStore` slots adjacency lists into pages of
+  ``vertices_per_page`` vertices and serves every neighbor lookup
+  through an LRU buffer of ``buffer_pages`` pages, counting hits/loads;
+* matching is pivot-ordered backtracking whose graph access goes
+  exclusively through the page store;
+* :meth:`DualSimMatcher.modeled_runtime` converts (compute ops, page
+  loads) into time units with an IO:CPU cost ratio, defaulting to a
+  disk-like 200x.
+
+The substitution (cost model instead of a real spinning disk) preserves
+what the figures show: DualSim's runtime scales with page loads, which
+cap how much work it can feed the CPU.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..graph import Graph
+from ..core.automorphism import SymmetryBreaker
+from ..core.stats import MatchStats
+
+__all__ = ["PageStore", "DualSimMatcher", "dualsim_match"]
+
+
+class PageStore:
+    """Paged adjacency access with an LRU buffer."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        vertices_per_page: int = 64,
+        buffer_pages: int = 8,
+    ) -> None:
+        if vertices_per_page < 1 or buffer_pages < 1:
+            raise ValueError("page geometry must be positive")
+        self.graph = graph
+        self.vertices_per_page = vertices_per_page
+        self.buffer_pages = buffer_pages
+        self._buffer: "OrderedDict[int, bool]" = OrderedDict()
+        self.page_loads = 0
+        self.page_hits = 0
+
+    def page_of(self, v: int) -> int:
+        """Page number hosting vertex ``v``'s slot."""
+        return v // self.vertices_per_page
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages of the store."""
+        n = self.graph.num_vertices
+        return (n + self.vertices_per_page - 1) // self.vertices_per_page
+
+    def _touch(self, page: int) -> None:
+        if page in self._buffer:
+            self.page_hits += 1
+            self._buffer.move_to_end(page)
+            return
+        self.page_loads += 1
+        self._buffer[page] = True
+        if len(self._buffer) > self.buffer_pages:
+            self._buffer.popitem(last=False)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Adjacency of ``v``, charging a page load on buffer miss."""
+        self._touch(self.page_of(v))
+        return self.graph.neighbors(v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Edge test via the smaller adjacency list's page."""
+        probe = u if self.graph.degree(u) <= self.graph.degree(v) else v
+        self._touch(self.page_of(probe))
+        return self.graph.has_edge(u, v)
+
+    def reset_counters(self) -> None:
+        """Zero the hit/load counters (buffer content kept)."""
+        self.page_loads = 0
+        self.page_hits = 0
+
+
+class DualSimMatcher:
+    """Page-mediated backtracking enumeration."""
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        break_automorphisms: bool = True,
+        vertices_per_page: int = 64,
+        buffer_pages: int = 8,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        self.query = query
+        self.data = data
+        self.stats = stats if stats is not None else MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self.store = PageStore(data, vertices_per_page, buffer_pages)
+        self._order = self._page_friendly_order()
+
+    def _page_friendly_order(self) -> List[int]:
+        """Connected query order; DualSim favors orders that maximize
+        reuse of loaded pages, approximated by most-constrained-first."""
+        n = self.query.num_vertices
+        start = max(range(n), key=lambda u: (self.query.degree(u), -u))
+        order = [start]
+        placed = {start}
+        while len(order) < n:
+            frontier = [
+                u
+                for u in range(n)
+                if u not in placed
+                and any(w in placed for w in self.query.neighbors(u))
+            ]
+            nxt = max(
+                frontier,
+                key=lambda u: (
+                    sum(1 for w in self.query.neighbors(u) if w in placed),
+                    self.query.degree(u),
+                    -u,
+                ),
+            )
+            order.append(nxt)
+            placed.add(nxt)
+        return order
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings; all adjacency goes through the page store.
+
+        Data vertices are scanned page by page for the first query
+        vertex — the page-combination iteration of the dual approach.
+        """
+        u0 = self._order[0]
+        labels = self.query.labels_of(u0)
+        degree = self.query.degree(u0)
+        mapping = [-1] * self.query.num_vertices
+        remaining = [limit]
+        for v in self.data.vertices():  # ascending = page order
+            self.store._touch(self.store.page_of(v))
+            if not self.data.label_matches(labels, v):
+                continue
+            if self.data.degree(v) < degree:
+                continue
+            if not self.symmetry.admissible(u0, v, mapping):
+                continue
+            mapping[u0] = v
+            yield from self._extend(1, mapping, {v}, remaining)
+            mapping[u0] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def _extend(
+        self,
+        depth: int,
+        mapping: List[int],
+        used: Set[int],
+        remaining: List[Optional[int]],
+    ) -> Iterator[Tuple[int, ...]]:
+        self.stats.recursive_calls += 1
+        if depth == len(self._order):
+            self.stats.embeddings_found += 1
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            yield tuple(mapping)
+            return
+        u = self._order[depth]
+        labels = self.query.labels_of(u)
+        degree_u = self.query.degree(u)
+        mapped_neighbors = [
+            mapping[w] for w in self.query.neighbors(u) if mapping[w] >= 0
+        ]
+        anchor = min(mapped_neighbors, key=self.data.degree)
+        for v in self.store.neighbors(anchor):
+            if v in used:
+                continue
+            if not self.data.label_matches(labels, v):
+                continue
+            if self.data.degree(v) < degree_u:
+                continue
+            ok = True
+            for mv in mapped_neighbors:
+                if mv == anchor:
+                    continue
+                self.stats.edge_verifications += 1
+                if not self.store.has_edge(v, mv):
+                    ok = False
+                    break
+            if not ok or not self.symmetry.admissible(u, v, mapping):
+                continue
+            mapping[u] = v
+            used.add(v)
+            yield from self._extend(depth + 1, mapping, used, remaining)
+            used.discard(v)
+            mapping[u] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def match(self, limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """All embeddings (or first ``limit``) as a list."""
+        return list(self.embeddings(limit))
+
+    def modeled_runtime(self, io_cost_ratio: float = 200.0) -> float:
+        """Runtime in compute-op units: recursive calls + edge checks
+        plus ``io_cost_ratio`` per page load — the IO-bound profile that
+        keeps DualSim from exploiting many cores."""
+        compute = self.stats.recursive_calls + self.stats.edge_verifications
+        return compute + io_cost_ratio * self.store.page_loads
+
+
+def dualsim_match(
+    query: Graph,
+    data: Graph,
+    limit: Optional[int] = None,
+    break_automorphisms: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Functional one-shot wrapper."""
+    return DualSimMatcher(query, data, break_automorphisms).match(limit)

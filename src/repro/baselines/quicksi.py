@@ -1,0 +1,151 @@
+"""QuickSI (Shang et al., 2008) — reference [46].
+
+QuickSI's contribution is the **QI-sequence**: a spanning-tree-based
+search sequence that visits infrequent vertices and edges first, so the
+backtracking tree is slimmest at the top.  We weight each query vertex by
+the frequency of its label in the data graph and each edge by the product
+of endpoint weights, build a minimum spanning tree under those weights
+(Prim), and emit the sequence root-first.  Extra (non-tree) edges become
+inline checks at the later endpoint, exactly like the original's
+``extra_edges`` annotations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph import Graph
+from ..core.automorphism import SymmetryBreaker
+from ..core.stats import MatchStats
+
+__all__ = ["QuickSIMatcher", "quicksi_match"]
+
+
+class QuickSIMatcher:
+    """QI-sequence guided backtracking."""
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        break_automorphisms: bool = True,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        self.query = query
+        self.data = data
+        self.stats = stats if stats is not None else MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self._order, self._tree_parent, self._extra_edges = self._qi_sequence()
+
+    def _label_frequency(self, u: int) -> int:
+        return min(
+            len(self.data.vertices_with_label(label))
+            for label in self.query.labels_of(u)
+        )
+
+    def _qi_sequence(self):
+        """Prim's MST under infrequency weights, emitted as (order,
+        tree-parent per vertex, extra edges per vertex)."""
+        n = self.query.num_vertices
+        weight = [self._label_frequency(u) for u in range(n)]
+        start = min(range(n), key=lambda u: (weight[u], -self.query.degree(u)))
+        order = [start]
+        parent = [-1] * n
+        in_tree = {start}
+        while len(order) < n:
+            best: Tuple[int, int] | None = None
+            best_cost = None
+            for u in range(n):
+                if u in in_tree:
+                    continue
+                for w in self.query.neighbors(u):
+                    if w not in in_tree:
+                        continue
+                    cost = (weight[u] * weight[w], weight[u], u)
+                    if best_cost is None or cost < best_cost:
+                        best_cost = cost
+                        best = (u, w)
+            assert best is not None, "query must be connected"
+            u, w = best
+            parent[u] = w
+            order.append(u)
+            in_tree.add(u)
+        position = {u: i for i, u in enumerate(order)}
+        extra: List[List[int]] = [[] for _ in range(n)]
+        for s, d in self.query.edges:
+            if parent[s] == d or parent[d] == s:
+                continue
+            later = s if position[s] > position[d] else d
+            earlier = d if later == s else s
+            extra[later].append(earlier)
+        return order, parent, extra
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings (tuples indexed by query vertex)."""
+        mapping = [-1] * self.query.num_vertices
+        remaining = [limit]
+        yield from self._extend(0, mapping, set(), remaining)
+
+    def _extend(
+        self,
+        depth: int,
+        mapping: List[int],
+        used: Set[int],
+        remaining: List[Optional[int]],
+    ) -> Iterator[Tuple[int, ...]]:
+        self.stats.recursive_calls += 1
+        if depth == len(self._order):
+            self.stats.embeddings_found += 1
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            yield tuple(mapping)
+            return
+        u = self._order[depth]
+        labels = self.query.labels_of(u)
+        degree_u = self.query.degree(u)
+        parent = self._tree_parent[u]
+        if parent >= 0:
+            pool = self.data.neighbors(mapping[parent])
+        else:
+            seed_label = min(
+                labels, key=lambda l: len(self.data.vertices_with_label(l))
+            )
+            pool = self.data.vertices_with_label(seed_label)
+        for v in pool:
+            if v in used:
+                continue
+            if not self.data.label_matches(labels, v):
+                continue
+            if self.data.degree(v) < degree_u:
+                continue
+            ok = True
+            for earlier in self._extra_edges[u]:
+                self.stats.edge_verifications += 1
+                if not self.data.has_edge(v, mapping[earlier]):
+                    ok = False
+                    break
+            if not ok or not self.symmetry.admissible(u, v, mapping):
+                continue
+            mapping[u] = v
+            used.add(v)
+            yield from self._extend(depth + 1, mapping, used, remaining)
+            used.discard(v)
+            mapping[u] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def match(self, limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """All embeddings (or first ``limit``) as a list."""
+        return list(self.embeddings(limit))
+
+
+def quicksi_match(
+    query: Graph,
+    data: Graph,
+    limit: Optional[int] = None,
+    break_automorphisms: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Functional one-shot wrapper."""
+    return QuickSIMatcher(query, data, break_automorphisms).match(limit)

@@ -1,0 +1,133 @@
+"""Ullmann's subgraph isomorphism algorithm (1976) — reference [54].
+
+The inception of backtracking subgraph matching: a boolean candidate
+matrix ``M[u][v]`` seeded by label/degree compatibility, refined by the
+classic Ullmann condition (every query neighbor of ``u`` must retain a
+candidate among ``v``'s data neighbors), then depth-first assignment in
+query-vertex order with forward pruning.
+
+Kept deliberately close to the original formulation — it is the oldest
+baseline in the paper's lineage and the slowest on purpose.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph import Graph
+from ..core.automorphism import SymmetryBreaker
+from ..core.stats import MatchStats
+
+__all__ = ["UllmannMatcher", "ullmann_match"]
+
+
+class UllmannMatcher:
+    """Classic candidate-matrix backtracking."""
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        break_automorphisms: bool = True,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        self.query = query
+        self.data = data
+        self.stats = stats if stats is not None else MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+
+    def _initial_matrix(self) -> List[Set[int]]:
+        candidates: List[Set[int]] = []
+        for u in self.query.vertices():
+            labels = self.query.labels_of(u)
+            degree = self.query.degree(u)
+            row = {
+                v
+                for v in self.data.vertices()
+                if self.data.label_matches(labels, v)
+                and self.data.degree(v) >= degree
+            }
+            candidates.append(row)
+        return candidates
+
+    def _refine(self, candidates: List[Set[int]]) -> bool:
+        """Ullmann refinement to fixpoint; ``False`` when a row empties."""
+        changed = True
+        while changed:
+            changed = False
+            for u in self.query.vertices():
+                doomed = []
+                for v in candidates[u]:
+                    for w in self.query.neighbors(u):
+                        if not (self.data.neighbor_set(v) & candidates[w]):
+                            doomed.append(v)
+                            break
+                if doomed:
+                    changed = True
+                    candidates[u] -= set(doomed)
+                    if not candidates[u]:
+                        return False
+        return True
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings (tuples indexed by query vertex)."""
+        candidates = self._initial_matrix()
+        if not self._refine(candidates):
+            return
+        mapping = [-1] * self.query.num_vertices
+        used: Set[int] = set()
+        remaining = [limit]
+        yield from self._assign(0, candidates, mapping, used, remaining)
+
+    def _assign(
+        self,
+        u: int,
+        candidates: List[Set[int]],
+        mapping: List[int],
+        used: Set[int],
+        remaining: List[Optional[int]],
+    ) -> Iterator[Tuple[int, ...]]:
+        self.stats.recursive_calls += 1
+        if u == self.query.num_vertices:
+            self.stats.embeddings_found += 1
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            yield tuple(mapping)
+            return
+        for v in sorted(candidates[u]):
+            if v in used:
+                continue
+            if not self._consistent(u, v, mapping):
+                continue
+            if not self.symmetry.admissible(u, v, mapping):
+                continue
+            mapping[u] = v
+            used.add(v)
+            yield from self._assign(u + 1, candidates, mapping, used, remaining)
+            used.discard(v)
+            mapping[u] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def _consistent(self, u: int, v: int, mapping: List[int]) -> bool:
+        for w in self.query.neighbors(u):
+            matched = mapping[w]
+            if matched >= 0:
+                self.stats.edge_verifications += 1
+                if not self.data.has_edge(v, matched):
+                    return False
+        return True
+
+    def match(self, limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """All embeddings (or first ``limit``) as a list."""
+        return list(self.embeddings(limit))
+
+
+def ullmann_match(
+    query: Graph,
+    data: Graph,
+    limit: Optional[int] = None,
+    break_automorphisms: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Functional one-shot wrapper."""
+    return UllmannMatcher(query, data, break_automorphisms).match(limit)

@@ -1,0 +1,156 @@
+"""VF2 (Cordella et al., 2004) — reference [10].
+
+State-space search over partial mappings with the VF2 feasibility rules:
+
+* **syntactic** — every already-mapped neighbor of the query vertex must
+  map to a neighbor of the data vertex and vice versa (we match
+  *subgraph* isomorphism, so extra data edges among mapped vertices are
+  allowed in the monomorphism sense the paper uses — candidate edges only
+  need to exist, non-edges are not forbidden);
+* **look-ahead** — the number of unmapped query neighbors must not exceed
+  the number of unmapped data neighbors (1-level look-ahead).
+
+The next query vertex is always one connected to the current partial
+mapping, the enhancement VF2 introduced over Ullmann.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..graph import Graph
+from ..core.automorphism import SymmetryBreaker
+from ..core.stats import MatchStats
+
+__all__ = ["VF2Matcher", "vf2_match"]
+
+
+class VF2Matcher:
+    """VF2 state-space search for subgraph isomorphism."""
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        break_automorphisms: bool = True,
+        stats: Optional[MatchStats] = None,
+    ) -> None:
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        self.query = query
+        self.data = data
+        self.stats = stats if stats is not None else MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self._order = self._connected_order()
+
+    def _connected_order(self) -> List[int]:
+        """Query order where each vertex (after the first) touches an
+        earlier one; ties broken toward higher degree then lower id."""
+        n = self.query.num_vertices
+        start = max(range(n), key=lambda u: (self.query.degree(u), -u))
+        order = [start]
+        chosen = {start}
+        while len(order) < n:
+            frontier = [
+                u
+                for u in range(n)
+                if u not in chosen
+                and any(w in chosen for w in self.query.neighbors(u))
+            ]
+            best = max(
+                frontier,
+                key=lambda u: (
+                    sum(1 for w in self.query.neighbors(u) if w in chosen),
+                    self.query.degree(u),
+                    -u,
+                ),
+            )
+            order.append(best)
+            chosen.add(best)
+        return order
+
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Tuple[int, ...]]:
+        """Yield embeddings (tuples indexed by query vertex)."""
+        mapping = [-1] * self.query.num_vertices
+        used: Set[int] = set()
+        remaining = [limit]
+        yield from self._extend(0, mapping, used, remaining)
+
+    def _extend(
+        self,
+        depth: int,
+        mapping: List[int],
+        used: Set[int],
+        remaining: List[Optional[int]],
+    ) -> Iterator[Tuple[int, ...]]:
+        self.stats.recursive_calls += 1
+        if depth == len(self._order):
+            self.stats.embeddings_found += 1
+            if remaining[0] is not None:
+                remaining[0] -= 1
+            yield tuple(mapping)
+            return
+        u = self._order[depth]
+        for v in self._candidate_pairs(u, depth, mapping, used):
+            if not self.symmetry.admissible(u, v, mapping):
+                continue
+            mapping[u] = v
+            used.add(v)
+            yield from self._extend(depth + 1, mapping, used, remaining)
+            used.discard(v)
+            mapping[u] = -1
+            if remaining[0] is not None and remaining[0] <= 0:
+                return
+
+    def _candidate_pairs(
+        self, u: int, depth: int, mapping: List[int], used: Set[int]
+    ) -> List[int]:
+        labels = self.query.labels_of(u)
+        mapped_neighbors = [
+            mapping[w] for w in self.query.neighbors(u) if mapping[w] >= 0
+        ]
+        if mapped_neighbors:
+            # candidates must be adjacent to every mapped neighbor;
+            # expand from the lowest-degree anchor.
+            anchor = min(mapped_neighbors, key=self.data.degree)
+            pool: List[int] = list(self.data.neighbors(anchor))
+        else:
+            pool = list(self.data.vertices())
+        out = []
+        for v in pool:
+            if v in used or not self.data.label_matches(labels, v):
+                continue
+            ok = True
+            for mv in mapped_neighbors:
+                self.stats.edge_verifications += 1
+                if not self.data.has_edge(v, mv):
+                    ok = False
+                    break
+            if ok and self._lookahead_ok(u, v, mapping, used):
+                out.append(v)
+        return out
+
+    def _lookahead_ok(
+        self, u: int, v: int, mapping: List[int], used: Set[int]
+    ) -> bool:
+        unmapped_query = sum(
+            1 for w in self.query.neighbors(u) if mapping[w] < 0
+        )
+        unmapped_data = sum(
+            1 for w in self.data.neighbors(v) if w not in used
+        )
+        return unmapped_data >= unmapped_query
+
+    def match(self, limit: Optional[int] = None) -> List[Tuple[int, ...]]:
+        """All embeddings (or first ``limit``) as a list."""
+        return list(self.embeddings(limit))
+
+
+def vf2_match(
+    query: Graph,
+    data: Graph,
+    limit: Optional[int] = None,
+    break_automorphisms: bool = True,
+) -> List[Tuple[int, ...]]:
+    """Functional one-shot wrapper."""
+    return VF2Matcher(query, data, break_automorphisms).match(limit)

@@ -1,0 +1,31 @@
+"""Benchmark harness substrate: datasets, queries, result tables."""
+
+from .datasets import (
+    warm,
+    DATASETS,
+    DatasetSpec,
+    dataset_names,
+    load_dataset,
+    table1_rows,
+)
+from .queries import QG1, QG2, QG3, QG4, QG5, QUERY_GRAPHS, query_graph
+from .runner import ResultTable, geometric_mean, timed
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "QG1",
+    "QG2",
+    "QG3",
+    "QG4",
+    "QG5",
+    "QUERY_GRAPHS",
+    "ResultTable",
+    "dataset_names",
+    "geometric_mean",
+    "load_dataset",
+    "query_graph",
+    "table1_rows",
+    "timed",
+    "warm",
+]

@@ -1,0 +1,57 @@
+"""The five unlabeled query graphs of Figure 6.
+
+The paper reuses the query set of PsgL/TTJ/DualSim.  Edge counts are
+pinned by Table 2's theoretical CECI sizes (``|Eq| x |Eg| x 8`` bytes):
+
+* **QG1** — triangle (3 vertices, 3 edges; backtracking depth 3);
+* **QG2** — square, the 4-cycle (4 vertices, 4 edges);
+* **QG3** — diamond, a 4-cycle plus one chord (4 vertices, 5 edges;
+  depth 4);
+* **QG4** — 4-clique (4 vertices, 6 edges);
+* **QG5** — house, a square with a triangular roof (5 vertices, 6
+  edges; depth 5).
+
+All vertices carry the same label 0, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graph import Graph
+
+__all__ = ["QG1", "QG2", "QG3", "QG4", "QG5", "QUERY_GRAPHS", "query_graph"]
+
+
+def _qg(name: str, n: int, edges) -> Graph:
+    graph = Graph(n, edges, name=name)
+    return graph
+
+
+#: Triangle.
+QG1 = _qg("QG1", 3, [(0, 1), (1, 2), (0, 2)])
+#: Square (4-cycle).
+QG2 = _qg("QG2", 4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+#: Diamond (4-cycle + chord).
+QG3 = _qg("QG3", 4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+#: 4-clique.
+QG4 = _qg("QG4", 4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+#: House (square + triangular roof).
+QG5 = _qg("QG5", 5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
+
+#: Name -> query graph.
+QUERY_GRAPHS: Dict[str, Graph] = {
+    "QG1": QG1,
+    "QG2": QG2,
+    "QG3": QG3,
+    "QG4": QG4,
+    "QG5": QG5,
+}
+
+
+def query_graph(name: str) -> Graph:
+    """Look up a Figure 6 query graph by name."""
+    try:
+        return QUERY_GRAPHS[name]
+    except KeyError:
+        raise ValueError(f"unknown query graph {name!r}") from None

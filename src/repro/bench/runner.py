@@ -1,0 +1,92 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``benchmarks/test_*`` file regenerates one table or figure of the
+paper; these helpers time algorithms, build the paper-style rows, and
+render them so ``pytest benchmarks/ --benchmark-only -s`` prints output
+directly comparable to the paper's plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["timed", "Row", "ResultTable", "geometric_mean"]
+
+
+def timed(fn: Callable[[], object]) -> Tuple[object, float]:
+    """Run ``fn`` once; return (result, elapsed seconds)."""
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+Row = Dict[str, object]
+
+
+@dataclass
+class ResultTable:
+    """A printable experiment result (one per figure/table)."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, **values: object) -> None:
+        """Append one row (keyword per column)."""
+        self.rows.append(values)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form note printed under the table."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Fixed-width text rendering."""
+        headers = list(self.columns)
+        body = [
+            [_fmt(row.get(col, "")) for col in headers] for row in self.rows
+        ]
+        widths = [
+            max(len(headers[i]), *(len(r[i]) for r in body)) if body else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(headers))))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        """Print the rendering (visible with ``pytest -s``)."""
+        print()
+        print(self.render())
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's "on average NX faster" statistic)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    product = 1.0
+    for v in cleaned:
+        product *= v
+    return product ** (1.0 / len(cleaned))

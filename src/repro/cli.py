@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+::
+
+    python -m repro match    QUERY DATA [--limit N] [--order bfs] [--all-autos]
+    python -m repro count    QUERY DATA [--limit N]
+    python -m repro index    QUERY DATA OUT.ceci      # build + persist CECI
+    python -m repro stats    QUERY DATA               # pipeline statistics
+    python -m repro generate KIND OUT [--vertices N] [--edges-per-vertex M]
+                                       [--labels K] [--seed S]
+
+``QUERY`` and ``DATA`` are graph files; format chosen by extension:
+``.graph`` (labeled t/v/e rows), ``.csr`` (binary CSR), anything else is
+read as a SNAP edge list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from .core import CECIMatcher
+from .core.persist import save_ceci
+from .graph import (
+    Graph,
+    erdos_renyi,
+    inject_labels,
+    kronecker,
+    load_csr_binary,
+    load_edge_list,
+    load_graph_format,
+    power_law,
+    save_graph_format,
+)
+
+__all__ = ["main"]
+
+
+def _load_graph(path: str) -> Graph:
+    if path.endswith(".graph"):
+        return load_graph_format(path)
+    if path.endswith(".csr"):
+        return load_csr_binary(path)
+    return load_edge_list(path)
+
+
+def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
+    return CECIMatcher(
+        _load_graph(args.query),
+        _load_graph(args.data),
+        order_strategy=args.order,
+        break_automorphisms=not args.all_autos,
+    )
+
+
+def _cmd_match(args: argparse.Namespace) -> int:
+    matcher = _make_matcher(args)
+    started = time.perf_counter()
+    embeddings = matcher.match(limit=args.limit)
+    elapsed = time.perf_counter() - started
+    for embedding in embeddings:
+        print(" ".join(str(v) for v in embedding))
+    print(
+        f"# {len(embeddings)} embeddings in {elapsed:.3f}s "
+        f"({matcher.stats.recursive_calls} recursive calls)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    matcher = _make_matcher(args)
+    started = time.perf_counter()
+    count = matcher.count(limit=args.limit)
+    elapsed = time.perf_counter() - started
+    print(count)
+    print(f"# counted in {elapsed:.3f}s", file=sys.stderr)
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace) -> int:
+    matcher = _make_matcher(args)
+    ceci = matcher.build()
+    save_ceci(ceci, args.out)
+    print(
+        f"index written to {args.out}: {len(ceci.pivots)} clusters, "
+        f"{ceci.te_edge_count()} TE + {ceci.nte_edge_count()} NTE "
+        f"candidate edges",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    matcher = _make_matcher(args)
+    matcher.match(limit=args.limit)
+    stats = matcher.stats
+    query = matcher.query
+    data = matcher.data
+    print(json.dumps({
+        "embeddings": stats.embeddings_found,
+        "recursive_calls": stats.recursive_calls,
+        "intersections": stats.intersections,
+        "edge_verifications": stats.edge_verifications,
+        "candidates_scanned": stats.candidates_initial,
+        "removed": {
+            "label": stats.removed_by_label,
+            "degree": stats.removed_by_degree,
+            "nlc": stats.removed_by_nlc,
+            "cascade": stats.removed_by_cascade,
+            "refinement": stats.removed_by_refinement,
+        },
+        "index_bytes": stats.index_bytes,
+        "theoretical_bytes": stats.theoretical_bytes(
+            query.num_edges, data.num_edges
+        ),
+        "phases_seconds": stats.phase_seconds,
+    }, indent=2))
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "powerlaw":
+        graph = power_law(args.vertices, args.edges_per_vertex, seed=args.seed)
+    elif args.kind == "kronecker":
+        scale = max(args.vertices - 1, 1).bit_length()
+        graph = kronecker(scale, args.edges_per_vertex, seed=args.seed)
+    elif args.kind == "erdos":
+        graph = erdos_renyi(
+            args.vertices, args.vertices * args.edges_per_vertex, seed=args.seed
+        )
+    else:
+        raise ValueError(f"unknown generator {args.kind!r}")
+    if args.labels > 1:
+        graph = inject_labels(graph, args.labels, seed=args.seed)
+    save_graph_format(graph, args.out)
+    print(
+        f"wrote {args.out}: |V|={graph.num_vertices} |E|={graph.num_edges} "
+        f"labels={len(graph.distinct_labels())}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CECI subgraph matching (SIGMOD 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_match_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("query", help="query graph file")
+        p.add_argument("data", help="data graph file")
+        p.add_argument("--limit", type=int, default=None,
+                       help="stop after N embeddings")
+        p.add_argument("--order", default="bfs",
+                       choices=["bfs", "edge_ranked", "path_ranked"],
+                       help="matching-order strategy")
+        p.add_argument("--all-autos", action="store_true",
+                       help="list every automorphism (no symmetry breaking)")
+
+    p_match = sub.add_parser("match", help="list embeddings")
+    add_match_args(p_match)
+    p_match.set_defaults(fn=_cmd_match)
+
+    p_count = sub.add_parser("count", help="count embeddings")
+    add_match_args(p_count)
+    p_count.set_defaults(fn=_cmd_count)
+
+    p_index = sub.add_parser("index", help="build and persist a CECI index")
+    add_match_args(p_index)
+    p_index.add_argument("out", help="output .ceci file")
+    p_index.set_defaults(fn=_cmd_index)
+
+    p_stats = sub.add_parser("stats", help="pipeline statistics as JSON")
+    add_match_args(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    p_gen = sub.add_parser("generate", help="generate a synthetic graph")
+    p_gen.add_argument("kind", choices=["powerlaw", "kronecker", "erdos"])
+    p_gen.add_argument("out", help="output .graph file")
+    p_gen.add_argument("--vertices", type=int, default=1000)
+    p_gen.add_argument("--edges-per-vertex", type=int, default=4)
+    p_gen.add_argument("--labels", type=int, default=1)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.set_defaults(fn=_cmd_generate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point (``python -m repro``)."""
+    args = _build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

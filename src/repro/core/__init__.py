@@ -1,0 +1,64 @@
+"""CECI core: the paper's primary contribution."""
+
+from .automorphism import (
+    SymmetryBreaker,
+    automorphisms,
+    equivalence_groups,
+    gk_conditions,
+)
+from .ceci import CECI, intersect_sorted
+from .clusters import WorkUnit, clusters_of, decompose_extreme_clusters
+from .database import ContainmentResult, GraphDatabase
+from .estimate import EstimateResult, cardinality_bound, estimate_embeddings
+from .enumeration import Embedding, Enumerator
+from .filtering import FilterConfig, build_ceci
+from .matcher import CECIMatcher, count_embeddings, find_embedding, match
+from .matching_order import (
+    bfs_order,
+    edge_ranked_order,
+    make_order,
+    path_ranked_order,
+)
+from .query_tree import QueryTree
+from .persist import dump_ceci_bytes, load_ceci, load_ceci_bytes, save_ceci
+from .refinement import refine_ceci
+from .root_selection import initial_candidates, select_root
+from .stats import MatchStats
+
+__all__ = [
+    "CECI",
+    "CECIMatcher",
+    "GraphDatabase",
+    "EstimateResult",
+    "ContainmentResult",
+    "Embedding",
+    "Enumerator",
+    "FilterConfig",
+    "MatchStats",
+    "QueryTree",
+    "SymmetryBreaker",
+    "WorkUnit",
+    "automorphisms",
+    "bfs_order",
+    "build_ceci",
+    "clusters_of",
+    "cardinality_bound",
+    "count_embeddings",
+    "decompose_extreme_clusters",
+    "edge_ranked_order",
+    "equivalence_groups",
+    "dump_ceci_bytes",
+    "estimate_embeddings",
+    "find_embedding",
+    "gk_conditions",
+    "initial_candidates",
+    "intersect_sorted",
+    "load_ceci",
+    "load_ceci_bytes",
+    "make_order",
+    "match",
+    "path_ranked_order",
+    "refine_ceci",
+    "save_ceci",
+    "select_root",
+]

@@ -1,0 +1,233 @@
+"""The Compact Embedding Cluster Index structure (Section 3.1).
+
+A CECI mirrors the query tree.  For each query vertex ``u`` it stores:
+
+* ``TE_Candidates`` — key/value pairs ``<v_p, [v...]>`` where ``v_p`` is a
+  candidate of ``u``'s tree parent and the value is the sorted list of
+  candidates of ``u`` adjacent to ``v_p``;
+* ``NTE_Candidates`` — for each non-tree edge ``(u_n, u)`` (with ``u_n``
+  earlier in the matching order), key/value pairs ``<v_n, [v...]>`` keyed
+  by candidates of ``u_n``;
+* the per-candidate ``cardinality`` computed by reverse-BFS refinement,
+  which doubles as the workload estimate for cluster decomposition.
+
+The value lists are kept sorted so enumeration can use ordered merge
+intersection — the paper's C++ implementation sorts its STL vectors for
+binary search / ``lower_bound`` for the same reason.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+from ..graph import Graph
+from .query_tree import QueryTree
+from .stats import MatchStats
+
+__all__ = ["CECI", "intersect_sorted"]
+
+TECandidates = Dict[int, List[int]]
+NTECandidates = Dict[int, Dict[int, List[int]]]
+
+
+class CECI:
+    """The built index; create it via :func:`repro.core.filtering.build_ceci`."""
+
+    def __init__(self, tree: QueryTree, data: Graph) -> None:
+        self.tree = tree
+        self.data = data
+        n = tree.query.num_vertices
+        #: Pivot vertices — candidates of the root query vertex; each
+        #: identifies one embedding cluster.
+        self.pivots: List[int] = []
+        #: ``te[u][v_p]`` — sorted candidates of ``u`` adjacent to parent
+        #: candidate ``v_p``.  Empty dict for the root.
+        self.te: List[TECandidates] = [dict() for _ in range(n)]
+        #: ``nte[u][u_n][v_n]`` — sorted candidates of ``u`` adjacent to
+        #: NTE-parent candidate ``v_n``.
+        self.nte: List[NTECandidates] = [dict() for _ in range(n)]
+        #: Current candidate set of each query vertex.
+        self.cand: List[Set[int]] = [set() for _ in range(n)]
+        #: ``cardinality[u][v]`` — refinement's upper bound on embeddings
+        #: extending the partial match ``u -> v`` downward.
+        self.cardinality: List[Dict[int, int]] = [dict() for _ in range(n)]
+        #: Set views of the NTE value lists, built by :meth:`freeze` once
+        #: the index is final; enumeration uses them for O(1) membership.
+        self.nte_sets: Optional[List[Dict[int, Dict[int, frozenset]]]] = None
+        #: Set views of the TE value lists (also built by :meth:`freeze`).
+        self.te_sets: Optional[List[Dict[int, frozenset]]] = None
+
+    # ------------------------------------------------------------------
+    # Mutation helpers shared by filtering and refinement
+    # ------------------------------------------------------------------
+    def remove_candidate(self, u: int, v: int) -> None:
+        """Remove data vertex ``v`` as a candidate of query vertex ``u``
+        everywhere: from the candidate set, from ``u``'s own TE/NTE value
+        lists, and as a key from the TE/NTE maps of ``u``'s (NTE-)children.
+        """
+        self.nte_sets = None  # mutation invalidates the frozen views
+        self.te_sets = None
+        self.cand[u].discard(v)
+        self.cardinality[u].pop(v, None)
+        if u == self.tree.root:
+            try:
+                self.pivots.remove(v)
+            except ValueError:
+                pass
+        for values in self.te[u].values():
+            _remove_sorted(values, v)
+        for groups in self.nte[u].values():
+            for values in groups.values():
+                _remove_sorted(values, v)
+        for u_c in self.tree.children[u]:
+            self.te[u_c].pop(v, None)
+        for u_c in self.tree.nte_children[u]:
+            group = self.nte[u_c].get(u)
+            if group is not None:
+                group.pop(v, None)
+
+    def freeze(self) -> None:
+        """Build set views of the TE and NTE lists.  Call once after the
+        index is final (post-refinement); any later mutation invalidates
+        the views, so :meth:`remove_candidate` clears them.
+
+        Only query vertices with incident non-tree edges are ever probed
+        by intersection, so only their entries get set views — for
+        tree-like queries this is free.
+        """
+        self.nte_sets = [
+            {
+                u_n: {v_n: frozenset(values) for v_n, values in groups.items()}
+                for u_n, groups in per_node.items()
+            }
+            for per_node in self.nte
+        ]
+        self.te_sets = [
+            {v_p: frozenset(values) for v_p, values in self.te[u].items()}
+            if self.tree.nte_parents[u]
+            else {}
+            for u in range(len(self.te))
+        ]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def candidates(self, u: int) -> Tuple[int, ...]:
+        """Sorted current candidates of ``u``."""
+        return tuple(sorted(self.cand[u]))
+
+    def te_union(self, u: int) -> Set[int]:
+        """Algorithm 1 line 3: the frontier of ``u`` is the union of its
+        TE_Candidates value lists (the pivots for the root).  Stale
+        vertices whose every parent key was cascade-deleted drop out
+        automatically."""
+        if u == self.tree.root:
+            return set(self.pivots)
+        union: Set[int] = set()
+        for values in self.te[u].values():
+            union.update(values)
+        return union
+
+    def frontier_union(self, u: int) -> Set[int]:
+        """Frontier for ``u`` acting as an NTE parent: union of its TE
+        *and* NTE candidates (Section 3.2, NTE construction)."""
+        union = self.te_union(u)
+        for groups in self.nte[u].values():
+            for values in groups.values():
+                union.update(values)
+        return union
+
+    def te_edge_count(self) -> int:
+        """Distinct tree-edge candidate edges in the index.
+
+        A data edge ``(a, b)`` may be keyed under both ``a`` and ``b``
+        for the same query edge (both endpoints can be candidates of
+        either side on weakly-labeled graphs); the paper stores — and
+        Table 2 counts — each candidate edge once, so the count is of
+        unique undirected pairs per query vertex.
+        """
+        total = 0
+        for per_node in self.te:
+            pairs = set()
+            for key, values in per_node.items():
+                for v in values:
+                    pairs.add((key, v) if key < v else (v, key))
+            total += len(pairs)
+        return total
+
+    def nte_edge_count(self) -> int:
+        """Distinct non-tree-edge candidate edges (same convention as
+        :meth:`te_edge_count`)."""
+        total = 0
+        for per_node in self.nte:
+            for groups in per_node.values():
+                pairs = set()
+                for key, values in groups.items():
+                    for v in values:
+                        pairs.add((key, v) if key < v else (v, key))
+                total += len(pairs)
+        return total
+
+    def record_size(self, stats: MatchStats) -> None:
+        """Publish index-size counters into ``stats`` (Table 2)."""
+        stats.te_candidate_edges = self.te_edge_count()
+        stats.nte_candidate_edges = self.nte_edge_count()
+
+    def nte_member_set(self, u: int, u_n: int) -> Set[int]:
+        """Union of NTE value lists of ``u`` under NTE parent ``u_n`` — a
+        candidate of ``u`` absent from this set can never satisfy the
+        non-tree edge ``(u_n, u)`` (Algorithm 2, lines 4-6)."""
+        members: Set[int] = set()
+        for values in self.nte[u].get(u_n, {}).values():
+            members.update(values)
+        return members
+
+    def cluster_cardinality(self, pivot: int) -> int:
+        """Maximum embeddings in the cluster rooted at ``pivot``
+        (Section 4.3): ``cardinality(u_s, v_s)``."""
+        return self.cardinality[self.tree.root].get(pivot, 0)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CECI clusters={len(self.pivots)} "
+            f"TE={self.te_edge_count()} NTE={self.nte_edge_count()}>"
+        )
+
+
+def _remove_sorted(values: List[int], v: int) -> None:
+    """Delete ``v`` from a sorted list if present (binary search)."""
+    import bisect
+
+    i = bisect.bisect_left(values, v)
+    if i < len(values) and values[i] == v:
+        del values[i]
+
+
+def intersect_sorted(lists: List[List[int]]) -> List[int]:
+    """k-way intersection of sorted integer lists.
+
+    The shortest list drives the probe loop; the others are scanned with a
+    resumable ``bisect`` pointer each.  This is the enumeration primitive
+    the paper contrasts with per-edge verification (Lemma 2).
+    """
+    import bisect
+
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return list(lists[0])
+    lists = sorted(lists, key=len)
+    smallest, rest = lists[0], lists[1:]
+    pointers = [0] * len(rest)
+    out: List[int] = []
+    for v in smallest:
+        keep = True
+        for i, other in enumerate(rest):
+            j = bisect.bisect_left(other, v, pointers[i])
+            pointers[i] = j
+            if j >= len(other) or other[j] != v:
+                keep = False
+                break
+        if keep:
+            out.append(v)
+    return out

@@ -1,0 +1,136 @@
+"""Subgraph containment search over a graph database.
+
+Section 7 separates *containment search* — "finds whether a data graph
+contains at least one isomorphic embedding of a given query graph" over
+a database of many graphs — from subgraph listing, noting listing is the
+harder problem.  Since a CECI matcher answers containment as the
+``limit=1`` case, a database layer falls out naturally; this module adds
+the standard index-then-verify pipeline the containment literature
+(gIndex/FG-index/CT-index, references [5, 8, 26, 56]) uses:
+
+1. a cheap per-graph **feature filter** — label histogram, degree
+   ceiling, edge count — discards graphs that provably cannot contain
+   the query;
+2. surviving candidates are verified with a real CECI match.
+
+``GraphDatabase`` is what the chemical-search example sells: load
+thousands of molecule-sized graphs, screen by pattern.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..graph import Graph
+from .matcher import CECIMatcher
+
+__all__ = ["GraphDatabase", "ContainmentResult"]
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Outcome of one containment query."""
+
+    #: Indices of database graphs containing the query.
+    matches: Tuple[int, ...]
+    #: Graphs discarded by the feature filter (never verified).
+    filtered_out: int
+    #: Graphs that passed the filter but failed verification.
+    false_candidates: int
+
+    @property
+    def verified(self) -> int:
+        """Graphs that went through full verification."""
+        return len(self.matches) + self.false_candidates
+
+
+class _GraphFeatures:
+    """The per-graph filter summary."""
+
+    __slots__ = ("label_counts", "max_degree", "num_edges", "degree_histogram")
+
+    def __init__(self, graph: Graph) -> None:
+        counts: Counter = Counter()
+        for v in graph.vertices():
+            for label in graph.labels_of(v):
+                counts[label] += 1
+        self.label_counts: Dict[object, int] = dict(counts)
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        self.max_degree = degrees[0] if degrees else 0
+        self.num_edges = graph.num_edges
+        self.degree_histogram = degrees
+
+    def may_contain(self, query_features: "_GraphFeatures") -> bool:
+        """Necessary conditions for containment."""
+        if query_features.num_edges > self.num_edges:
+            return False
+        if query_features.max_degree > self.max_degree:
+            return False
+        for label, needed in query_features.label_counts.items():
+            if self.label_counts.get(label, 0) < needed:
+                return False
+        # k-th largest query degree must fit under k-th largest data degree
+        for q_deg, d_deg in zip(
+            query_features.degree_histogram, self.degree_histogram
+        ):
+            if q_deg > d_deg:
+                return False
+        return True
+
+
+class GraphDatabase:
+    """A collection of data graphs with containment screening."""
+
+    def __init__(self, graphs: Optional[Iterable[Graph]] = None) -> None:
+        self._graphs: List[Graph] = []
+        self._features: List[_GraphFeatures] = []
+        if graphs is not None:
+            for graph in graphs:
+                self.add(graph)
+
+    def add(self, graph: Graph) -> int:
+        """Add a graph; returns its database index."""
+        self._graphs.append(graph)
+        self._features.append(_GraphFeatures(graph))
+        return len(self._graphs) - 1
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self._graphs[index]
+
+    def contains(self, query: Graph) -> ContainmentResult:
+        """Which database graphs contain at least one embedding of
+        ``query``?  Filter first, verify survivors with CECI."""
+        query_features = _GraphFeatures(query)
+        matches: List[int] = []
+        filtered_out = 0
+        false_candidates = 0
+        for index, features in enumerate(self._features):
+            if not features.may_contain(query_features):
+                filtered_out += 1
+                continue
+            matcher = CECIMatcher(query, self._graphs[index])
+            if matcher.match(limit=1):
+                matches.append(index)
+            else:
+                false_candidates += 1
+        return ContainmentResult(
+            tuple(matches), filtered_out, false_candidates
+        )
+
+    def occurrences(
+        self, query: Graph, limit_per_graph: Optional[int] = None
+    ) -> Dict[int, List[Tuple[int, ...]]]:
+        """All embeddings per containing graph (listing, not just
+        containment)."""
+        result = self.contains(query)
+        out: Dict[int, List[Tuple[int, ...]]] = {}
+        for index in result.matches:
+            out[index] = CECIMatcher(query, self._graphs[index]).match(
+                limit_per_graph
+            )
+        return out

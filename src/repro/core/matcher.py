@@ -1,0 +1,222 @@
+"""High-level CECI matching API.
+
+:class:`CECIMatcher` wires the whole pipeline together — root selection,
+query tree, Algorithm 1 filtering, Algorithm 2 refinement, symmetry
+breaking, and set-intersection enumeration — and exposes ablation
+switches for every design choice the paper evaluates.  The module-level
+:func:`match`, :func:`count_embeddings` and :func:`find_embedding` are
+the one-line entry points used throughout the examples.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, List, Optional, Sequence
+
+from ..graph import Graph
+from .automorphism import SymmetryBreaker
+from .ceci import CECI
+from .clusters import WorkUnit, clusters_of, decompose_extreme_clusters
+from .enumeration import Embedding, Enumerator
+from .filtering import FilterConfig, build_ceci
+from .matching_order import make_order
+from .query_tree import QueryTree
+from .refinement import refine_ceci
+from .root_selection import initial_candidates, select_root
+from .stats import MatchStats
+
+__all__ = ["CECIMatcher", "match", "count_embeddings", "find_embedding"]
+
+
+class CECIMatcher:
+    """One query/data pair, matched the CECI way.
+
+    Parameters mirror the paper's design space:
+
+    * ``order_strategy`` — ``"bfs"`` (default), ``"edge_ranked"`` or
+      ``"path_ranked"`` (Section 2.2);
+    * ``break_automorphisms`` — NEC groups + ordering rules (Section 2.2);
+    * ``use_degree_filter`` / ``use_nlc_filter`` / ``use_cascade`` —
+      Algorithm 1 filters;
+    * ``use_refinement`` — Algorithm 2 (off = only BFS filtering);
+    * ``use_intersection`` — Section 4 intersection-based enumeration
+      (off = per-edge verification).
+    """
+
+    def __init__(
+        self,
+        query: Graph,
+        data: Graph,
+        order_strategy: str = "bfs",
+        break_automorphisms: bool = True,
+        use_degree_filter: bool = True,
+        use_nlc_filter: bool = True,
+        use_cascade: bool = True,
+        use_refinement: bool = True,
+        use_intersection: bool = True,
+    ) -> None:
+        if query.num_vertices == 0:
+            raise ValueError("query graph is empty")
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        self.query = query
+        self.data = data
+        self.order_strategy = order_strategy
+        self.use_refinement = use_refinement
+        self.use_intersection = use_intersection
+        self.filter_config = FilterConfig(
+            use_degree_filter=use_degree_filter,
+            use_nlc_filter=use_nlc_filter,
+            use_cascade=use_cascade,
+        )
+        self.stats = MatchStats()
+        self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self._ceci: Optional[CECI] = None
+        self._tree: Optional[QueryTree] = None
+
+    # ------------------------------------------------------------------
+    # Pipeline
+    # ------------------------------------------------------------------
+    def build(self) -> CECI:
+        """Run preprocessing, filtering and refinement; cached."""
+        if self._ceci is not None:
+            return self._ceci
+        started = time.perf_counter()
+        # One LDF/NLC scan per query vertex serves both the root cost
+        # function and the ranked matching orders.
+        candidate_counts: List[int] = []
+        root = -1
+        pivots: List[int] = []
+        best_cost = float("inf")
+        for u in self.query.vertices():
+            candidates = initial_candidates(self.query, self.data, u, self.stats)
+            candidate_counts.append(len(candidates))
+            cost = len(candidates) / (self.query.degree(u) or 1)
+            if cost < best_cost:
+                root, pivots, best_cost = u, candidates, cost
+        order = make_order(
+            self.query, root, self.order_strategy, candidate_counts
+        )
+        self._tree = QueryTree(self.query, root, order)
+        self.stats.add_phase("preprocess", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        ceci = build_ceci(
+            self._tree, self.data, pivots, self.stats, self.filter_config
+        )
+        self.stats.add_phase("filter", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        if self.use_refinement:
+            refine_ceci(ceci, self.stats)
+        else:
+            _assign_uniform_cardinality(ceci)
+        ceci.freeze()
+        self.stats.add_phase("refine", time.perf_counter() - started)
+        self._ceci = ceci
+        return ceci
+
+    @property
+    def tree(self) -> QueryTree:
+        """The query tree (builds on first access)."""
+        self.build()
+        assert self._tree is not None
+        return self._tree
+
+    def enumerator(self) -> Enumerator:
+        """A fresh enumerator over the built index, sharing ``stats``."""
+        return Enumerator(
+            self.build(),
+            symmetry=self.symmetry,
+            use_intersection=self.use_intersection,
+            stats=self.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def embeddings(self, limit: Optional[int] = None) -> Iterator[Embedding]:
+        """Stream embeddings; ``embedding[u]`` is the match of query
+        vertex ``u``."""
+        started = time.perf_counter()
+        try:
+            yield from self.enumerator().embeddings(limit)
+        finally:
+            self.stats.add_phase("enumerate", time.perf_counter() - started)
+
+    def match(self, limit: Optional[int] = None) -> List[Embedding]:
+        """All embeddings (or the first ``limit``) as a list (uses the
+        non-generator fast path)."""
+        enumerator = self.enumerator()  # builds the index if needed
+        started = time.perf_counter()
+        try:
+            return enumerator.collect(limit)
+        finally:
+            self.stats.add_phase("enumerate", time.perf_counter() - started)
+
+    def count(self, limit: Optional[int] = None) -> int:
+        """Embedding count (fast path; embeddings are materialized in
+        bulk, then discarded)."""
+        return len(self.match(limit))
+
+    # ------------------------------------------------------------------
+    # Parallel work
+    # ------------------------------------------------------------------
+    def work_units(
+        self,
+        worker_count: int = 1,
+        beta: Optional[float] = 0.2,
+    ) -> List[WorkUnit]:
+        """The schedulable work pool.
+
+        ``beta=None`` returns intact clusters (ST/CGD granularity);
+        otherwise ExtremeClusters are decomposed per Algorithm 3 (FGD).
+        """
+        ceci = self.build()
+        if beta is None:
+            return clusters_of(ceci)
+        return decompose_extreme_clusters(
+            ceci, worker_count, beta, self.symmetry
+        )
+
+    def embeddings_of_unit(
+        self, unit: WorkUnit, limit: Optional[int] = None
+    ) -> List[Embedding]:
+        """Embeddings of one work unit (used by the schedulers)."""
+        return list(self.enumerator().embeddings_from_unit(unit.prefix, limit))
+
+
+def _assign_uniform_cardinality(ceci: CECI) -> None:
+    """Without refinement there are no true cardinalities; weight every
+    cluster by its pivot's TE fanout product so the schedulers still have
+    a (crude) workload signal."""
+    tree = ceci.tree
+    for u in tree.order:
+        for v in ceci.cand[u]:
+            ceci.cardinality[u][v] = 1
+    root_children = tree.children[tree.root]
+    for pivot in ceci.pivots:
+        weight = 1
+        for u_c in root_children:
+            weight *= max(len(ceci.te[u_c].get(pivot, ())), 1)
+        ceci.cardinality[tree.root][pivot] = weight
+
+
+def match(
+    query: Graph, data: Graph, limit: Optional[int] = None, **options
+) -> List[Embedding]:
+    """Find (up to ``limit``) embeddings of ``query`` in ``data``."""
+    return CECIMatcher(query, data, **options).match(limit)
+
+
+def count_embeddings(
+    query: Graph, data: Graph, limit: Optional[int] = None, **options
+) -> int:
+    """Count (up to ``limit``) embeddings of ``query`` in ``data``."""
+    return CECIMatcher(query, data, **options).count(limit)
+
+
+def find_embedding(query: Graph, data: Graph, **options) -> Optional[Embedding]:
+    """First embedding or ``None`` — the containment-search primitive."""
+    found = match(query, data, limit=1, **options)
+    return found[0] if found else None

@@ -1,0 +1,152 @@
+"""Matching (visit) orders over the BFS query tree (Section 2.2).
+
+The CECI techniques "can easily adopt other matching orders without the
+need for a major modification"; any order where each vertex follows its
+BFS-tree parent is valid.  Three orders are provided:
+
+* :func:`bfs_order` — the paper's default (plain level order);
+* :func:`edge_ranked_order` — the GpSM-style edge-ranked order [53]: greedy
+  expansion along the cheapest frontier edge, cost = candidate-count ratio;
+* :func:`path_ranked_order` — the TurboIso-style path-ranked order [17]:
+  root-to-leaf tree paths sorted by estimated candidate-path frequency,
+  cheapest path first.
+
+Both ranked orders need candidate-set sizes; callers pass the per-vertex
+candidate counts computed during root selection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph import Graph
+
+__all__ = ["bfs_order", "edge_ranked_order", "path_ranked_order", "make_order"]
+
+
+def _bfs_parents(query: Graph, root: int) -> List[int]:
+    parent = [-1] * query.num_vertices
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        for w in query.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                parent[w] = u
+                queue.append(w)
+    return parent
+
+
+def bfs_order(query: Graph, root: int) -> Tuple[int, ...]:
+    """Plain BFS level order with ascending-id tie-breaks."""
+    order: List[int] = []
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for w in query.neighbors(u):
+            if w not in seen:
+                seen.add(w)
+                queue.append(w)
+    if len(order) != query.num_vertices:
+        raise ValueError("query graph is not connected")
+    return tuple(order)
+
+
+def edge_ranked_order(
+    query: Graph,
+    root: int,
+    candidate_counts: Sequence[int],
+) -> Tuple[int, ...]:
+    """Greedy selective-first order.
+
+    Starting from the root, repeatedly pick the unvisited vertex adjacent
+    to the visited set with the smallest
+    ``candidate_count(u) / connections-to-visited`` score — fewer
+    candidates and more constraining edges first.  The BFS-tree-parent
+    constraint is enforced so the order stays CECI-compatible.
+    """
+    parent = _bfs_parents(query, root)
+    order = [root]
+    visited = {root}
+    while len(order) < query.num_vertices:
+        best_u = -1
+        best_score = float("inf")
+        for u in query.vertices():
+            if u in visited or parent[u] not in visited:
+                continue
+            connections = sum(1 for w in query.neighbors(u) if w in visited)
+            if connections == 0:
+                continue
+            score = (candidate_counts[u] + 1) / connections
+            if score < best_score or (score == best_score and u < best_u):
+                best_u = u
+                best_score = score
+        if best_u < 0:
+            raise ValueError("query graph is not connected")
+        order.append(best_u)
+        visited.add(best_u)
+    return tuple(order)
+
+
+def path_ranked_order(
+    query: Graph,
+    root: int,
+    candidate_counts: Sequence[int],
+) -> Tuple[int, ...]:
+    """TurboIso-style path ordering.
+
+    Each root-to-leaf path of the BFS tree gets a score equal to the
+    product of its vertices' candidate counts (an upper bound on candidate
+    paths); paths are emitted cheapest first, skipping already-ordered
+    vertices.  Tree-parent precedence holds because each path is emitted
+    root-first.
+    """
+    parent = _bfs_parents(query, root)
+    children: List[List[int]] = [[] for _ in range(query.num_vertices)]
+    for u in query.vertices():
+        if parent[u] >= 0:
+            children[parent[u]].append(u)
+
+    paths: List[Tuple[float, List[int]]] = []
+
+    def walk(u: int, path: List[int], score: float) -> None:
+        path = path + [u]
+        score = score * max(candidate_counts[u], 1)
+        if not children[u]:
+            paths.append((score, path))
+            return
+        for c in children[u]:
+            walk(c, path, score)
+
+    walk(root, [], 1.0)
+    paths.sort(key=lambda item: (item[0], item[1]))
+    order: List[int] = []
+    emitted = set()
+    for _score, path in paths:
+        for u in path:
+            if u not in emitted:
+                emitted.add(u)
+                order.append(u)
+    return tuple(order)
+
+
+def make_order(
+    query: Graph,
+    root: int,
+    strategy: str = "bfs",
+    candidate_counts: Sequence[int] | None = None,
+) -> Tuple[int, ...]:
+    """Dispatch by strategy name: ``bfs``, ``edge_ranked``, ``path_ranked``."""
+    if strategy == "bfs":
+        return bfs_order(query, root)
+    if candidate_counts is None:
+        raise ValueError(f"strategy {strategy!r} needs candidate_counts")
+    if strategy == "edge_ranked":
+        return edge_ranked_order(query, root, candidate_counts)
+    if strategy == "path_ranked":
+        return path_ranked_order(query, root, candidate_counts)
+    raise ValueError(f"unknown matching-order strategy {strategy!r}")

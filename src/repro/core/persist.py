@@ -1,0 +1,147 @@
+"""CECI index persistence.
+
+Section 6.4: "For larger graphs whose CECI does not fit inside memory,
+we plan to store it in non-volatile memory [30]."  This module is that
+feature's laptop-scale counterpart: a compact binary serialization of a
+built (filtered + refined) CECI, so an index can be constructed once and
+re-enumerated many times — across processes — without paying
+construction again.  The format stores, per query vertex, the TE and NTE
+key/value lists and the cardinality table, plus the query tree needed to
+re-attach the index.
+
+The on-disk layout is a small header followed by numpy ``.npy`` blocks
+(varint-free, mmap-friendly), mirroring how an NVM-resident CECI would
+be laid out as flat arrays.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import BinaryIO, Dict, List
+
+import numpy as np
+
+from ..graph import Graph
+from .ceci import CECI
+from .query_tree import QueryTree
+
+__all__ = ["save_ceci", "load_ceci", "dump_ceci_bytes", "load_ceci_bytes"]
+
+_MAGIC = b"CECIIDX2"
+
+
+def _encode_pairs(mapping: Dict[int, List[int]]) -> List[np.ndarray]:
+    """Flatten ``{key: [values]}`` into (keys, offsets, values) arrays."""
+    keys = np.fromiter(sorted(mapping), dtype=np.int64, count=len(mapping))
+    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    for i, key in enumerate(keys):
+        values = mapping[int(key)]
+        offsets[i + 1] = offsets[i] + len(values)
+        chunks.append(np.asarray(values, dtype=np.int64))
+    values = (
+        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+    )
+    return [keys, offsets, values]
+
+
+def _decode_pairs(keys: np.ndarray, offsets: np.ndarray, values: np.ndarray) -> Dict[int, List[int]]:
+    out: Dict[int, List[int]] = {}
+    for i, key in enumerate(keys):
+        start, end = int(offsets[i]), int(offsets[i + 1])
+        out[int(key)] = [int(v) for v in values[start:end]]
+    return out
+
+
+def dump_ceci_bytes(ceci: CECI) -> bytes:
+    """Serialize a built CECI to bytes."""
+    tree = ceci.tree
+    header = {
+        "query_vertices": tree.query.num_vertices,
+        "query_edges": [list(edge) for edge in tree.query.edges],
+        "query_labels": [
+            sorted(map(repr, tree.query.labels_of(u)))
+            for u in tree.query.vertices()
+        ],
+        "root": tree.root,
+        "order": list(tree.order),
+        "pivots": list(ceci.pivots),
+        "nte_groups": [
+            sorted(ceci.nte[u]) for u in range(tree.query.num_vertices)
+        ],
+    }
+    buf = io.BytesIO()
+    buf.write(_MAGIC)
+    payload = json.dumps(header).encode("utf-8")
+    buf.write(len(payload).to_bytes(8, "little"))
+    buf.write(payload)
+
+    arrays: List[np.ndarray] = []
+    for u in range(tree.query.num_vertices):
+        arrays.extend(_encode_pairs(ceci.te[u]))
+        for u_n in sorted(ceci.nte[u]):
+            arrays.extend(_encode_pairs(ceci.nte[u][u_n]))
+        arrays.extend(_encode_pairs(
+            {v: [c] for v, c in ceci.cardinality[u].items()}
+        ))
+    for array in arrays:
+        np.save(buf, array, allow_pickle=False)
+    return buf.getvalue()
+
+
+def load_ceci_bytes(blob: bytes, data: Graph) -> CECI:
+    """Reconstruct a CECI against the (identical) data graph."""
+    buf = io.BytesIO(blob)
+    if buf.read(len(_MAGIC)) != _MAGIC:
+        raise ValueError("not a CECI index blob")
+    size = int.from_bytes(buf.read(8), "little")
+    header = json.loads(buf.read(size).decode("utf-8"))
+
+    query = Graph(
+        header["query_vertices"],
+        [tuple(edge) for edge in header["query_edges"]],
+        [frozenset(_parse(label) for label in labels)
+         for labels in header["query_labels"]],
+    )
+    tree = QueryTree(query, header["root"], header["order"])
+    ceci = CECI(tree, data)
+    ceci.pivots = list(header["pivots"])
+
+    def read_pairs() -> Dict[int, List[int]]:
+        keys = np.load(buf, allow_pickle=False)
+        offsets = np.load(buf, allow_pickle=False)
+        values = np.load(buf, allow_pickle=False)
+        return _decode_pairs(keys, offsets, values)
+
+    for u in range(query.num_vertices):
+        ceci.te[u] = read_pairs()
+        for u_n in header["nte_groups"][u]:
+            ceci.nte[u][u_n] = read_pairs()
+        ceci.cardinality[u] = {
+            v: values[0] for v, values in read_pairs().items()
+        }
+        ceci.cand[u] = ceci.te_union(u)
+    ceci.freeze()
+    return ceci
+
+
+def _parse(token: str) -> object:
+    try:
+        return int(token)
+    except ValueError:
+        if token.startswith(("'", '"')) and token.endswith(("'", '"')):
+            return token[1:-1]
+        return token
+
+
+def save_ceci(ceci: CECI, path: str) -> None:
+    """Write a built CECI to ``path``."""
+    with open(path, "wb") as handle:
+        handle.write(dump_ceci_bytes(ceci))
+
+
+def load_ceci(path: str, data: Graph) -> CECI:
+    """Load a CECI from ``path`` against the identical data graph."""
+    with open(path, "rb") as handle:
+        return load_ceci_bytes(handle.read(), data)

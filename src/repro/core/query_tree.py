@@ -1,0 +1,133 @@
+"""BFS query tree (Section 2.2).
+
+A BFS traversal of the query graph from the root query vertex yields the
+*query tree*.  Edges of the query graph that appear on the tree are **tree
+edges (TE)**; the rest are **non-tree edges (NTE)**.  Every non-root vertex
+has exactly one tree parent.  For a non-tree edge, "the node appearing
+earlier in the matching order acts as the parent and the other as child"
+(Section 3.2), so NTE parent/child roles are resolved against the matching
+order, not the BFS level.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph import Graph
+
+__all__ = ["QueryTree"]
+
+
+class QueryTree:
+    """The query tree plus the matching order over it.
+
+    Parameters
+    ----------
+    query:
+        Connected query graph.
+    root:
+        Root query vertex (see :mod:`repro.core.root_selection`).
+    order:
+        Matching order.  Must start at ``root`` and be *tree-compatible*:
+        every vertex appears after its BFS-tree parent.  Defaults to the
+        plain BFS order.
+    """
+
+    def __init__(self, query: Graph, root: int, order: Sequence[int] | None = None) -> None:
+        if not query.is_connected():
+            raise ValueError("query graph must be connected")
+        if not 0 <= root < query.num_vertices:
+            raise ValueError(f"root {root} not a query vertex")
+        self.query = query
+        self.root = root
+
+        # BFS from the root; children explored in ascending id for
+        # determinism.  parent[root] == -1.
+        parent: List[int] = [-1] * query.num_vertices
+        level: List[int] = [0] * query.num_vertices
+        bfs: List[int] = []
+        seen = {root}
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            bfs.append(u)
+            for w in query.neighbors(u):
+                if w not in seen:
+                    seen.add(w)
+                    parent[w] = u
+                    level[w] = level[u] + 1
+                    queue.append(w)
+        self.parent: Tuple[int, ...] = tuple(parent)
+        self.level: Tuple[int, ...] = tuple(level)
+        self.bfs_order: Tuple[int, ...] = tuple(bfs)
+
+        if order is None:
+            order = self.bfs_order
+        self._validate_order(order)
+        self.order: Tuple[int, ...] = tuple(order)
+        self.position: Dict[int, int] = {u: i for i, u in enumerate(self.order)}
+
+        children: List[List[int]] = [[] for _ in range(query.num_vertices)]
+        for u in self.order:
+            p = parent[u]
+            if p >= 0:
+                children[p].append(u)
+        self.children: Tuple[Tuple[int, ...], ...] = tuple(tuple(c) for c in children)
+
+        tree_edges: List[Tuple[int, int]] = []
+        non_tree_edges: List[Tuple[int, int]] = []
+        for s, d in query.edges:
+            if parent[d] == s:
+                tree_edges.append((s, d))
+            elif parent[s] == d:
+                tree_edges.append((d, s))
+            else:
+                # NTE: orient from the earlier vertex in the matching
+                # order (parent role) to the later one (child role).
+                if self.position[s] < self.position[d]:
+                    non_tree_edges.append((s, d))
+                else:
+                    non_tree_edges.append((d, s))
+        self.tree_edges: Tuple[Tuple[int, int], ...] = tuple(sorted(tree_edges))
+        self.non_tree_edges: Tuple[Tuple[int, int], ...] = tuple(sorted(non_tree_edges))
+
+        nte_parents: List[List[int]] = [[] for _ in range(query.num_vertices)]
+        nte_children: List[List[int]] = [[] for _ in range(query.num_vertices)]
+        for u_n, u in self.non_tree_edges:
+            nte_parents[u].append(u_n)
+            nte_children[u_n].append(u)
+        #: For each query vertex ``u``: NTE neighbors appearing earlier in
+        #: the matching order (whose match is already fixed when ``u`` is
+        #: being matched).
+        self.nte_parents: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in nte_parents)
+        #: Inverse view of :attr:`nte_parents`.
+        self.nte_children: Tuple[Tuple[int, ...], ...] = tuple(tuple(c) for c in nte_children)
+
+    def _validate_order(self, order: Sequence[int]) -> None:
+        n = self.query.num_vertices
+        if len(order) != n or set(order) != set(range(n)):
+            raise ValueError("matching order must be a permutation of query vertices")
+        if order[0] != self.root:
+            raise ValueError("matching order must start at the root")
+        position = {u: i for i, u in enumerate(order)}
+        for u in order[1:]:
+            if position[self.parent[u]] >= position[u]:
+                raise ValueError(
+                    f"matching order places {u} before its tree parent {self.parent[u]}"
+                )
+
+    # ------------------------------------------------------------------
+    def reverse_order(self) -> Tuple[int, ...]:
+        """The matching order reversed — the refinement pass direction."""
+        return tuple(reversed(self.order))
+
+    def is_leaf(self, u: int) -> bool:
+        """Whether ``u`` has no tree children."""
+        return not self.children[u]
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryTree root={self.root} order={list(self.order)} "
+            f"TE={len(self.tree_edges)} NTE={len(self.non_tree_edges)}>"
+        )

@@ -1,0 +1,100 @@
+"""Root query vertex selection and the LDF/NLC candidate scan.
+
+Section 2.2: the root is the vertex minimizing
+``|candidate(u)| / degree(u)``, where ``candidate(u)`` is obtained "by
+verifying each data node by the label, degree, and neighborhood label
+count".  That per-vertex scan is also exactly the pivot computation — the
+root's candidates become the cluster pivots — so both live here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..graph import Graph
+from .stats import MatchStats
+
+__all__ = ["initial_candidates", "select_root"]
+
+
+def initial_candidates(
+    query: Graph,
+    data: Graph,
+    u: int,
+    stats: MatchStats | None = None,
+    use_degree_filter: bool = True,
+    use_nlc_filter: bool = True,
+) -> List[int]:
+    """Scan the data graph for candidates of query vertex ``u``.
+
+    A data vertex ``v`` qualifies when:
+
+    * **LF**: ``L_q(u) ⊆ L(v)``,
+    * **DF**: ``degree(v) >= degree(u)``,
+    * **NLCF**: for every label ``l`` in ``u``'s neighborhood,
+      ``count_v(l) >= count_u(l)``.
+
+    The label index makes the scan proportional to the label frequency
+    rather than ``|V|``.
+    """
+    query_labels = query.labels_of(u)
+    # Scan the rarest label's posting list, then subset-check the rest.
+    seed_label = min(
+        query_labels, key=lambda l: len(data.vertices_with_label(l))
+    )
+    degree_u = query.degree(u)
+    nlc_u = query.neighbor_label_counts(u)
+    out: List[int] = []
+    for v in data.vertices_with_label(seed_label):
+        if stats is not None:
+            stats.candidates_initial += 1
+        if not data.label_matches(query_labels, v):
+            if stats is not None:
+                stats.removed_by_label += 1
+            continue
+        if use_degree_filter and data.degree(v) < degree_u:
+            if stats is not None:
+                stats.removed_by_degree += 1
+            continue
+        if use_nlc_filter and not _nlc_ok(nlc_u, data.neighbor_label_counts(v)):
+            if stats is not None:
+                stats.removed_by_nlc += 1
+            continue
+        out.append(v)
+    return out
+
+
+def _nlc_ok(nlc_query: Dict, nlc_data: Dict) -> bool:
+    for label, needed in nlc_query.items():
+        if nlc_data.get(label, 0) < needed:
+            return False
+    return True
+
+
+def select_root(
+    query: Graph,
+    data: Graph,
+    stats: MatchStats | None = None,
+) -> Tuple[int, List[int]]:
+    """Pick the root vertex minimizing ``|candidate(u)|/degree(u)`` and
+    return ``(root, its candidate list)`` — the candidates double as the
+    cluster pivots.
+
+    Vertices whose candidate set is empty make the whole query
+    unsatisfiable; in that case the vertex is still returned (cost 0) so
+    the caller can terminate with zero embeddings cheaply.
+    """
+    best_u = -1
+    best_cost = float("inf")
+    best_candidates: List[int] = []
+    for u in query.vertices():
+        candidates = initial_candidates(query, data, u, stats)
+        degree = query.degree(u) or 1
+        cost = len(candidates) / degree
+        if cost < best_cost:
+            best_u = u
+            best_cost = cost
+            best_candidates = candidates
+            if not candidates:
+                break  # cannot do better than an unsatisfiable vertex
+    return best_u, best_candidates

@@ -1,0 +1,86 @@
+"""Instrumentation counters.
+
+The paper's evaluation reports several internal quantities besides wall
+clock: number of recursive calls (Figure 18 uses it as the proxy for total
+search space), CECI index size in bytes against the theoretical
+``|Eq| x |Eg|`` bound (Table 2), candidates removed by each filter, and the
+phase breakdown of the run (Figures 15, 19, 20).  :class:`MatchStats`
+collects all of them during one ``match`` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["MatchStats", "BYTES_PER_CANDIDATE_EDGE"]
+
+#: The paper stores each candidate edge in 8 bytes ("8 bytes is used to
+#: store each edge" — Section 6.4); index sizes are reported on that basis.
+BYTES_PER_CANDIDATE_EDGE = 8
+
+
+@dataclass
+class MatchStats:
+    """Counters populated while building a CECI and enumerating from it."""
+
+    # --- enumeration ---------------------------------------------------
+    recursive_calls: int = 0
+    embeddings_found: int = 0
+    intersections: int = 0
+    edge_verifications: int = 0
+
+    # --- filtering / refinement ----------------------------------------
+    candidates_initial: int = 0
+    removed_by_label: int = 0
+    removed_by_degree: int = 0
+    removed_by_nlc: int = 0
+    removed_by_cascade: int = 0
+    removed_by_refinement: int = 0
+
+    # --- index size -----------------------------------------------------
+    te_candidate_edges: int = 0
+    nte_candidate_edges: int = 0
+
+    # --- phase timings (seconds) -----------------------------------------
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def index_bytes(self) -> int:
+        """Actual CECI size in bytes (Table 2's first number)."""
+        return (
+            self.te_candidate_edges + self.nte_candidate_edges
+        ) * BYTES_PER_CANDIDATE_EDGE
+
+    def theoretical_bytes(self, num_query_edges: int, num_data_edges: int) -> int:
+        """Theoretical bound ``|Eq| x |Eg| x 8`` (Table 2's parenthesized
+        number)."""
+        return num_query_edges * num_data_edges * BYTES_PER_CANDIDATE_EDGE
+
+    def space_saved_percent(self, num_query_edges: int, num_data_edges: int) -> float:
+        """Table 2's bracketed percentage."""
+        theoretical = self.theoretical_bytes(num_query_edges, num_data_edges)
+        if theoretical == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.index_bytes / theoretical)
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        """Accumulate wall-clock time into a named phase."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def merge(self, other: "MatchStats") -> None:
+        """Fold another stats object into this one (per-worker merge)."""
+        self.recursive_calls += other.recursive_calls
+        self.embeddings_found += other.embeddings_found
+        self.intersections += other.intersections
+        self.edge_verifications += other.edge_verifications
+        self.candidates_initial += other.candidates_initial
+        self.removed_by_label += other.removed_by_label
+        self.removed_by_degree += other.removed_by_degree
+        self.removed_by_nlc += other.removed_by_nlc
+        self.removed_by_cascade += other.removed_by_cascade
+        self.removed_by_refinement += other.removed_by_refinement
+        self.te_candidate_edges += other.te_candidate_edges
+        self.nte_candidate_edges += other.nte_candidate_edges
+        for phase, seconds in other.phase_seconds.items():
+            self.add_phase(phase, seconds)

@@ -1,0 +1,23 @@
+"""Simulated distributed-memory CECI (Section 5)."""
+
+from .machine import MachineReport
+from .partition import (
+    distribute_pivots,
+    jaccard_similarity,
+    lightweight_workload,
+)
+from .runtime import DistributedCECI, DistributedResult
+from .storage import InMemoryStorage, SharedStorage, StorageModel, TrackedGraph
+
+__all__ = [
+    "DistributedCECI",
+    "DistributedResult",
+    "InMemoryStorage",
+    "MachineReport",
+    "SharedStorage",
+    "StorageModel",
+    "TrackedGraph",
+    "distribute_pivots",
+    "jaccard_similarity",
+    "lightweight_workload",
+]

@@ -1,0 +1,44 @@
+"""Graph substrate: labeled graph store, CSR view, IO, and generators."""
+
+from .builder import GraphBuilder
+from .csr import CSRGraph, from_csr, to_csr
+from .generators import (
+    dense_labeled,
+    erdos_renyi,
+    inject_labels,
+    kronecker,
+    power_law,
+    relabel_with,
+)
+from .graph import Graph
+from .io import (
+    load_csr_binary,
+    load_edge_list,
+    load_graph_format,
+    save_csr_binary,
+    save_edge_list,
+    save_graph_format,
+)
+from .query_gen import generate_query, generate_query_set
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "CSRGraph",
+    "to_csr",
+    "from_csr",
+    "kronecker",
+    "power_law",
+    "erdos_renyi",
+    "dense_labeled",
+    "inject_labels",
+    "relabel_with",
+    "load_edge_list",
+    "save_edge_list",
+    "load_graph_format",
+    "save_graph_format",
+    "load_csr_binary",
+    "save_csr_binary",
+    "generate_query",
+    "generate_query_set",
+]

@@ -1,0 +1,87 @@
+"""Incremental construction of :class:`~repro.graph.graph.Graph` objects.
+
+:class:`Graph` itself is immutable; the builder collects vertices, labels
+and edges and materializes the graph once at :meth:`GraphBuilder.build`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .graph import Graph
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Mutable accumulator for building labeled graphs.
+
+    Vertices may be added explicitly with :meth:`add_vertex` (assigning
+    labels) or implicitly by :meth:`add_edge`; implicit vertices get the
+    default label ``0``.  External ids of any hashable type are remapped to
+    dense integers in insertion order.
+    """
+
+    def __init__(self, directed: bool = False, name: str = "") -> None:
+        self.directed = directed
+        self.name = name
+        self._ids: Dict[object, int] = {}
+        self._labels: List[Set[object]] = []
+        self._edges: List[Tuple[int, int]] = []
+
+    def _intern(self, external_id: object) -> int:
+        dense = self._ids.get(external_id)
+        if dense is None:
+            dense = len(self._ids)
+            self._ids[external_id] = dense
+            self._labels.append({0})
+        return dense
+
+    def add_vertex(self, external_id: object, labels: Optional[Iterable[object]] = None) -> int:
+        """Register a vertex, optionally with labels; returns its dense id."""
+        dense = self._intern(external_id)
+        if labels is not None:
+            labelset = set(labels) if not isinstance(labels, (str, bytes)) else {labels}
+            if not labelset:
+                raise ValueError("labels iterable may not be empty")
+            self._labels[dense] = labelset
+        return dense
+
+    def add_label(self, external_id: object, label: object) -> None:
+        """Add one more label to an existing or new vertex."""
+        dense = self._intern(external_id)
+        self._labels[dense].add(label)
+
+    def add_edge(self, src: object, dst: object) -> None:
+        """Add an edge, creating endpoints as needed."""
+        self._edges.append((self._intern(src), self._intern(dst)))
+
+    def add_edges(self, edges: Iterable[Tuple[object, object]]) -> None:
+        """Bulk :meth:`add_edge`."""
+        for s, d in edges:
+            self.add_edge(s, d)
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices registered so far."""
+        return len(self._ids)
+
+    @property
+    def num_edges(self) -> int:
+        """Edges registered so far (before de-duplication)."""
+        return len(self._edges)
+
+    def id_map(self) -> Dict[object, int]:
+        """Copy of the external-id -> dense-id mapping."""
+        return dict(self._ids)
+
+    def build(self) -> Graph:
+        """Materialize the immutable :class:`Graph`."""
+        labels = [frozenset(ls) for ls in self._labels]
+        return Graph(
+            len(self._ids),
+            self._edges,
+            labels,
+            directed=self.directed,
+            name=self.name,
+        )

@@ -1,0 +1,320 @@
+"""Labeled graph store used by every matcher in the repository.
+
+The paper (Section 2.1) represents a graph as ``G = (V, E, L)`` where ``L``
+assigns *one or more* labels to each vertex.  Query graphs are connected and
+undirected; data graphs may be directed or undirected.  Following the paper's
+isomorphism definition, a data vertex ``v`` can host a query vertex ``u``
+when ``L_q(u) ⊆ L(v)`` — i.e. the query vertex's labels are a subset of the
+data vertex's labels.
+
+For matching purposes the paper treats edges as adjacency (its example
+graphs and all the query graphs are undirected patterns), so :class:`Graph`
+keeps a symmetric adjacency structure.  Directed inputs simply record the
+direction flag and symmetrize adjacency, which is also what the original
+C++ implementation does when building candidate sets.
+
+Vertices are dense integers ``0..n-1``.  Per-vertex adjacency is stored both
+as a *sorted tuple* (for ordered merge intersection, the heart of CECI's
+enumeration) and as a *frozenset* (for O(1) edge verification, which the
+edge-verification baselines need).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["Graph"]
+
+Edge = Tuple[int, int]
+
+
+class Graph:
+    """An immutable labeled graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertex ids are ``0..num_vertices-1``.
+    edges:
+        Iterable of ``(src, dst)`` pairs.  Self loops are rejected and
+        duplicate / reverse duplicates are collapsed (simple graph).
+    labels:
+        Either ``None`` (every vertex gets label ``0``), a sequence with one
+        entry per vertex where each entry is a label or an iterable of
+        labels, or a mapping ``vertex -> label(s)``.
+    directed:
+        Whether the *source* data was directed.  Matching always uses the
+        symmetrized adjacency, mirroring the reference implementation.
+    name:
+        Optional human-readable name (dataset abbreviation etc.).
+    """
+
+    __slots__ = (
+        "name",
+        "directed",
+        "_n",
+        "_edges",
+        "_adj_sorted",
+        "_adj_set",
+        "_labels",
+        "_label_index",
+        "_nlc",
+        "_degrees",
+        "_twin_classes",
+    )
+
+    def __init__(
+        self,
+        num_vertices: int,
+        edges: Iterable[Edge],
+        labels: Optional[object] = None,
+        directed: bool = False,
+        name: str = "",
+    ) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.name = name
+        self.directed = directed
+        self._n = num_vertices
+
+        adj: List[set] = [set() for _ in range(num_vertices)]
+        edge_set: set = set()
+        for s, d in edges:
+            if not (0 <= s < num_vertices and 0 <= d < num_vertices):
+                raise ValueError(f"edge ({s}, {d}) references unknown vertex")
+            if s == d:
+                raise ValueError(f"self loop on vertex {s} is not allowed")
+            key = (s, d) if s < d else (d, s)
+            if key in edge_set:
+                continue
+            edge_set.add(key)
+            adj[s].add(d)
+            adj[d].add(s)
+
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._adj_sorted: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(neighbors)) for neighbors in adj
+        )
+        self._adj_set: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(neighbors) for neighbors in adj
+        )
+        self._labels: Tuple[FrozenSet[object], ...] = self._normalize_labels(labels)
+
+        label_index: Dict[object, List[int]] = {}
+        for v, vlabels in enumerate(self._labels):
+            for label in vlabels:
+                label_index.setdefault(label, []).append(v)
+        self._label_index: Dict[object, Tuple[int, ...]] = {
+            label: tuple(vs) for label, vs in label_index.items()
+        }
+        self._nlc: Optional[Tuple[Mapping[object, int], ...]] = None
+        # lazily cached by repro.baselines.turboiso.data_vertex_classes
+        self._twin_classes = None
+        self._degrees: Tuple[int, ...] = tuple(
+            len(neighbors) for neighbors in self._adj_sorted
+        )
+
+    def _normalize_labels(self, labels: Optional[object]) -> Tuple[FrozenSet[object], ...]:
+        n = self._n
+        if labels is None:
+            return tuple(frozenset((0,)) for _ in range(n))
+        if isinstance(labels, Mapping):
+            seq: List[object] = [labels.get(v, 0) for v in range(n)]
+        else:
+            seq = list(labels)  # type: ignore[arg-type]
+            if len(seq) != n:
+                raise ValueError(
+                    f"labels has {len(seq)} entries but graph has {n} vertices"
+                )
+        out: List[FrozenSet[object]] = []
+        for entry in seq:
+            if isinstance(entry, (set, frozenset, list, tuple)):
+                labelset = frozenset(entry)
+                if not labelset:
+                    raise ValueError("every vertex needs at least one label")
+            else:
+                labelset = frozenset((entry,))
+            out.append(labelset)
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges after de-duplication."""
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges as sorted ``(min, max)`` pairs."""
+        return self._edges
+
+    def vertices(self) -> range:
+        """Iterate vertex ids."""
+        return range(self._n)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted neighbors of ``v``."""
+        return self._adj_sorted[v]
+
+    def neighbor_set(self, v: int) -> FrozenSet[int]:
+        """Neighbors of ``v`` as a frozenset (O(1) membership)."""
+        return self._adj_set[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` in the symmetrized graph."""
+        return self._degrees[v]
+
+    @property
+    def adjacency(self) -> Tuple[Tuple[int, ...], ...]:
+        """The full sorted-adjacency table (per-vertex tuples) — lets
+        hot loops index directly instead of calling :meth:`neighbors`
+        per vertex."""
+        return self._adj_sorted
+
+    @property
+    def degrees(self) -> Tuple[int, ...]:
+        """All vertex degrees, indexable by vertex id."""
+        return self._degrees
+
+    @property
+    def label_table(self) -> Tuple[FrozenSet[object], ...]:
+        """Per-vertex label sets, indexable by vertex id."""
+        return self._labels
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge connects ``u`` and ``v``."""
+        return v in self._adj_set[u]
+
+    def labels_of(self, v: int) -> FrozenSet[object]:
+        """Label set of vertex ``v``."""
+        return self._labels[v]
+
+    def label_of(self, v: int) -> object:
+        """Primary (smallest) label of ``v`` — convenience for
+        single-labeled graphs."""
+        return min(self._labels[v], key=repr)
+
+    def vertices_with_label(self, label: object) -> Tuple[int, ...]:
+        """All vertices carrying ``label`` (inverted label index)."""
+        return self._label_index.get(label, ())
+
+    def distinct_labels(self) -> Tuple[object, ...]:
+        """All labels present in the graph."""
+        return tuple(self._label_index)
+
+    def uniform_label(self) -> Optional[object]:
+        """The single label when every vertex carries exactly the same
+        one label (the paper's unlabeled-graph regime), else ``None``.
+        Filters collapse in this regime: LF is vacuous and NLCF reduces
+        to the degree filter."""
+        if len(self._label_index) != 1:
+            return None
+        label = next(iter(self._label_index))
+        if all(len(ls) == 1 for ls in self._labels):
+            return label
+        return None
+
+    def label_matches(self, query_labels: FrozenSet[object], v: int) -> bool:
+        """Paper's label rule: ``L_q(u) ⊆ L(v)``."""
+        return query_labels <= self._labels[v]
+
+    # ------------------------------------------------------------------
+    # Neighborhood label counts (NLC) — used by the NLCF filter
+    # ------------------------------------------------------------------
+    def neighbor_label_counts(self, v: int) -> Mapping[object, int]:
+        """Count of each label among ``v``'s neighbors.
+
+        A neighbor with multiple labels contributes to each of its labels,
+        matching the multi-label semantics of the HU dataset experiments.
+        Computed lazily for the whole graph on first use and cached.
+        """
+        if self._nlc is None:
+            uniform = self.uniform_label()
+            if uniform is not None:
+                # Single-label regime: every neighbor contributes the
+                # same label, so the count table is just the degree.
+                self._nlc = tuple(
+                    {uniform: degree} for degree in self._degrees
+                )
+            else:
+                nlc: List[Mapping[object, int]] = []
+                for u in range(self._n):
+                    counter: Counter = Counter()
+                    for w in self._adj_sorted[u]:
+                        for label in self._labels[w]:
+                            counter[label] += 1
+                    nlc.append(dict(counter))
+                self._nlc = tuple(nlc)
+        return self._nlc[v]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def subgraph(self, vertices: Sequence[int]) -> "Graph":
+        """Vertex-induced subgraph, relabeled to ``0..k-1`` preserving the
+        order of ``vertices``."""
+        index = {v: i for i, v in enumerate(vertices)}
+        if len(index) != len(vertices):
+            raise ValueError("duplicate vertices in subgraph selection")
+        edges = [
+            (index[s], index[d])
+            for s, d in self._edges
+            if s in index and d in index
+        ]
+        labels = [self._labels[v] for v in vertices]
+        return Graph(len(vertices), edges, labels, directed=self.directed)
+
+    def is_connected(self) -> bool:
+        """Whether the (symmetrized) graph is connected."""
+        if self._n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for w in self._adj_sorted[v]:
+                if w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return len(seen) == self._n
+
+    def degree_sequence(self) -> List[int]:
+        """Sorted (descending) degree sequence."""
+        return sorted((len(a) for a in self._adj_sorted), reverse=True)
+
+    # ------------------------------------------------------------------
+    # Dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __repr__(self) -> str:
+        tag = f" {self.name!r}" if self.name else ""
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"<Graph{tag} |V|={self._n} |E|={self.num_edges} {kind} "
+            f"labels={len(self._label_index)}>"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and self._edges == other._edges
+            and self._labels == other._labels
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self._edges, self._labels))

@@ -1,0 +1,112 @@
+"""Graph serialization.
+
+Three formats are supported:
+
+* **edge list** — one ``src dst`` pair per line, ``#`` comments, the SNAP
+  distribution format the paper's datasets ship in;
+* **``.graph``** — the labeled format used by the original CECI release and
+  the SubgraphMatching study (``t |V| |E|`` header, ``v id label degree``
+  vertex rows, ``e src dst`` edge rows);
+* **CSR binary** — the compact binary blob of :mod:`repro.graph.csr`, which
+  the shared-storage distributed mode reads adjacency lists from.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from .csr import CSRGraph, from_csr, to_csr
+from .graph import Graph
+
+__all__ = [
+    "load_edge_list",
+    "save_edge_list",
+    "load_graph_format",
+    "save_graph_format",
+    "load_csr_binary",
+    "save_csr_binary",
+]
+
+
+def load_edge_list(path: str, directed: bool = False, name: str = "") -> Graph:
+    """Load a SNAP-style whitespace edge list.  Vertex ids may be sparse;
+    they are densified in first-appearance order."""
+    ids: dict = {}
+    edges: List[Tuple[int, int]] = []
+
+    def intern(token: str) -> int:
+        dense = ids.get(token)
+        if dense is None:
+            dense = len(ids)
+            ids[token] = dense
+        return dense
+
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith(("#", "%")):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"malformed edge line: {line!r}")
+            s, d = intern(parts[0]), intern(parts[1])
+            if s != d:
+                edges.append((s, d))
+    return Graph(len(ids), edges, directed=directed, name=name or os.path.basename(path))
+
+
+def save_edge_list(graph: Graph, path: str) -> None:
+    """Write the graph as a SNAP-style edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.name or 'graph'}: |V|={graph.num_vertices} |E|={graph.num_edges}\n")
+        for s, d in graph.edges:
+            handle.write(f"{s} {d}\n")
+
+
+def load_graph_format(path: str, name: str = "") -> Graph:
+    """Load the labeled ``.graph`` format (``t``/``v``/``e`` rows)."""
+    num_vertices = 0
+    labels: List[object] = []
+    edges: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            parts = line.split()
+            if not parts:
+                continue
+            tag = parts[0]
+            if tag == "t":
+                num_vertices = int(parts[1])
+                labels = [0] * num_vertices
+            elif tag == "v":
+                vid, label = int(parts[1]), int(parts[2])
+                labels[vid] = label
+            elif tag == "e":
+                edges.append((int(parts[1]), int(parts[2])))
+            else:
+                raise ValueError(f"unknown row tag {tag!r} in {path}")
+    return Graph(num_vertices, edges, labels, name=name or os.path.basename(path))
+
+
+def save_graph_format(graph: Graph, path: str) -> None:
+    """Write the labeled ``.graph`` format.  Multi-labeled vertices write
+    their primary label, which is what the study format can express."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+        for v in graph.vertices():
+            handle.write(f"v {v} {graph.label_of(v)} {graph.degree(v)}\n")
+        for s, d in graph.edges:
+            handle.write(f"e {s} {d}\n")
+
+
+def save_csr_binary(graph: Graph, path: str) -> None:
+    """Serialize to the CSR binary blob used by shared-storage mode."""
+    with open(path, "wb") as handle:
+        handle.write(to_csr(graph).to_bytes())
+
+
+def load_csr_binary(path: str, directed: bool = False, name: str = "") -> Graph:
+    """Load a CSR binary blob back into a :class:`Graph`."""
+    with open(path, "rb") as handle:
+        csr = CSRGraph.from_bytes(handle.read())
+    return from_csr(csr, directed=directed, name=name or os.path.basename(path))

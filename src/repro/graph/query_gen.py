@@ -1,0 +1,106 @@
+"""Query graph generation (Section 6.2 protocol).
+
+"We perform Depth-first search (DFS) traversal of data graphs from random
+source nodes in order to generate connected query graphs of different size
+... Iteratively, a new node is selected and every backward edge from that
+node to already selected nodes is added to query graph until the required
+node count is achieved.  Thus, at least one isomorphic embedding will be
+found for each query."
+
+Labels are copied from the data graph ("the node labels are transferred to
+query graph"), taking only the first label when a data vertex is
+multi-labeled, which is also what the paper does for HU.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+
+__all__ = ["generate_query", "generate_query_set"]
+
+
+def generate_query(
+    data_graph: Graph,
+    num_vertices: int,
+    seed: int = 0,
+    source: Optional[int] = None,
+    keep_all_labels: bool = False,
+) -> Graph:
+    """Extract one connected query graph of ``num_vertices`` vertices.
+
+    Raises :class:`ValueError` if the DFS component around the chosen
+    source is smaller than ``num_vertices`` after a few retries.
+    """
+    if num_vertices < 1:
+        raise ValueError("query needs at least one vertex")
+    if num_vertices > data_graph.num_vertices:
+        raise ValueError("query larger than the data graph")
+    rng = random.Random(seed)
+    for _attempt in range(32):
+        start = source if source is not None else rng.randrange(data_graph.num_vertices)
+        selected: List[int] = []
+        selected_set: set = set()
+        stack = [start]
+        while stack and len(selected) < num_vertices:
+            v = stack.pop()
+            if v in selected_set:
+                continue
+            selected.append(v)
+            selected_set.add(v)
+            neighbors = list(data_graph.neighbors(v))
+            rng.shuffle(neighbors)
+            stack.extend(w for w in neighbors if w not in selected_set)
+        if len(selected) == num_vertices:
+            index = {v: i for i, v in enumerate(selected)}
+            edges: List[Tuple[int, int]] = []
+            # "every backward edge from that node to already selected nodes"
+            for i, v in enumerate(selected):
+                for w in data_graph.neighbors(v):
+                    j = index.get(w)
+                    if j is not None and j < i:
+                        edges.append((j, i))
+            if keep_all_labels:
+                labels = [data_graph.labels_of(v) for v in selected]
+            else:
+                labels = [data_graph.label_of(v) for v in selected]
+            query = Graph(num_vertices, edges, labels, name=f"q{num_vertices}")
+            if query.is_connected():
+                return query
+        if source is not None:
+            break
+    raise ValueError(
+        f"could not extract a connected {num_vertices}-vertex query "
+        f"from {data_graph!r}"
+    )
+
+
+def generate_query_set(
+    data_graph: Graph,
+    num_vertices: int,
+    count: int,
+    seed: int = 0,
+    keep_all_labels: bool = False,
+) -> List[Graph]:
+    """Generate ``count`` queries of the same size with distinct seeds —
+    the paper generates 100 per size."""
+    queries: List[Graph] = []
+    attempt = 0
+    while len(queries) < count:
+        try:
+            queries.append(
+                generate_query(
+                    data_graph,
+                    num_vertices,
+                    seed=seed + attempt,
+                    keep_all_labels=keep_all_labels,
+                )
+            )
+        except ValueError:
+            pass
+        attempt += 1
+        if attempt > count * 64:
+            raise ValueError("data graph too fragmented to generate query set")
+    return queries

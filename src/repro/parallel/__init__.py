@@ -1,0 +1,28 @@
+"""Parallel execution: scheduling policies, thread executor, simulator."""
+
+from .scheduling import (
+    POLICIES,
+    Assignment,
+    dynamic_schedule,
+    static_schedule,
+)
+from .simulate import (
+    PolicyResult,
+    measure_unit_costs,
+    simulate_policy,
+    speedup_curve,
+)
+from .workers import WorkerReport, parallel_match
+
+__all__ = [
+    "POLICIES",
+    "Assignment",
+    "PolicyResult",
+    "WorkerReport",
+    "dynamic_schedule",
+    "measure_unit_costs",
+    "parallel_match",
+    "simulate_policy",
+    "speedup_curve",
+    "static_schedule",
+]

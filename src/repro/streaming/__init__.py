@@ -1,0 +1,6 @@
+"""Streaming subgraph matching over evolving graphs (Section 7)."""
+
+from .continuous import ContinuousQuery, UpdateDelta
+from .dynamic import DynamicGraph
+
+__all__ = ["ContinuousQuery", "DynamicGraph", "UpdateDelta"]

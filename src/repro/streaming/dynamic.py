@@ -1,0 +1,164 @@
+"""A mutable graph for streaming workloads.
+
+Section 7: "Subgraph Isomorphism in Streaming Graph is gaining more
+popularity as most of the real world graph data are continuously
+evolving" — CECI's related work points at TurboFlux [25] and the
+evolving-graph stores [31].  :class:`DynamicGraph` is the substrate for
+that workload here: a labeled graph under edge insertions and deletions
+that can hand out immutable :class:`~repro.graph.graph.Graph` snapshots
+(cached until the next mutation) for any matcher in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..graph import Graph
+
+__all__ = ["DynamicGraph"]
+
+
+class DynamicGraph:
+    """Mutable labeled graph with O(1) edge updates and cached
+    snapshots."""
+
+    def __init__(
+        self,
+        num_vertices: int = 0,
+        edges: Optional[Iterable[Tuple[int, int]]] = None,
+        labels: Optional[object] = None,
+    ) -> None:
+        self._labels: List[FrozenSet[object]] = []
+        self._adjacency: List[Set[int]] = []
+        self._num_edges = 0
+        self._snapshot: Optional[Graph] = None
+        for _ in range(num_vertices):
+            self.add_vertex()
+        if labels is not None:
+            seq = list(labels)  # type: ignore[arg-type]
+            if len(seq) != num_vertices:
+                raise ValueError("labels length must match num_vertices")
+            for v, entry in enumerate(seq):
+                self.set_labels(v, entry)
+        if edges is not None:
+            for s, d in edges:
+                self.insert_edge(s, d)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "DynamicGraph":
+        """Start from an immutable graph's current state."""
+        dynamic = cls()
+        for v in graph.vertices():
+            dynamic.add_vertex(graph.labels_of(v))
+        for s, d in graph.edges:
+            dynamic.insert_edge(s, d)
+        return dynamic
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, labels: Optional[object] = None) -> int:
+        """Append a vertex; returns its id."""
+        vid = len(self._adjacency)
+        self._adjacency.append(set())
+        if labels is None:
+            labelset: FrozenSet[object] = frozenset((0,))
+        elif isinstance(labels, (set, frozenset, list, tuple)):
+            labelset = frozenset(labels)
+            if not labelset:
+                raise ValueError("labels may not be empty")
+        else:
+            labelset = frozenset((labels,))
+        self._labels.append(labelset)
+        self._snapshot = None
+        return vid
+
+    def set_labels(self, v: int, labels: object) -> None:
+        """Replace the label set of ``v``."""
+        if isinstance(labels, (set, frozenset, list, tuple)):
+            labelset = frozenset(labels)
+            if not labelset:
+                raise ValueError("labels may not be empty")
+        else:
+            labelset = frozenset((labels,))
+        self._labels[v] = labelset
+        self._snapshot = None
+
+    def insert_edge(self, u: int, v: int) -> bool:
+        """Insert an edge; returns False if it already existed."""
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise ValueError("self loops are not allowed")
+        if v in self._adjacency[u]:
+            return False
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        self._snapshot = None
+        return True
+
+    def delete_edge(self, u: int, v: int) -> bool:
+        """Delete an edge; returns False if it was absent."""
+        self._check(u)
+        self._check(v)
+        if v not in self._adjacency[u]:
+            return False
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+        self._snapshot = None
+        return True
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < len(self._adjacency):
+            raise ValueError(f"unknown vertex {v}")
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Current vertex count."""
+        return len(self._adjacency)
+
+    @property
+    def num_edges(self) -> int:
+        """Current edge count."""
+        return self._num_edges
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge currently exists."""
+        return v in self._adjacency[u]
+
+    def neighbors(self, v: int) -> Set[int]:
+        """Current neighbor set of ``v`` (a copy)."""
+        return set(self._adjacency[v])
+
+    def degree(self, v: int) -> int:
+        """Current degree of ``v``."""
+        return len(self._adjacency[v])
+
+    def labels_of(self, v: int) -> FrozenSet[object]:
+        """Current label set of ``v``."""
+        return self._labels[v]
+
+    def snapshot(self) -> Graph:
+        """An immutable :class:`Graph` of the current state, cached
+        until the next mutation."""
+        if self._snapshot is None:
+            edges = [
+                (u, v)
+                for u in range(len(self._adjacency))
+                for v in self._adjacency[u]
+                if u < v
+            ]
+            self._snapshot = Graph(
+                len(self._adjacency), edges, list(self._labels)
+            )
+        return self._snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"<DynamicGraph |V|={self.num_vertices} |E|={self.num_edges}>"
+        )

@@ -1,0 +1,132 @@
+"""Tests for the benchmark substrate: datasets, queries, result tables."""
+
+import pytest
+
+from repro.bench import (
+    DATASETS,
+    QG1,
+    QG2,
+    QG3,
+    QG4,
+    QG5,
+    QUERY_GRAPHS,
+    ResultTable,
+    dataset_names,
+    geometric_mean,
+    load_dataset,
+    query_graph,
+    table1_rows,
+    timed,
+    warm,
+)
+from repro.core import automorphisms
+
+
+class TestQueryGraphs:
+    def test_all_five_present(self):
+        assert set(QUERY_GRAPHS) == {"QG1", "QG2", "QG3", "QG4", "QG5"}
+
+    def test_shapes_match_table2_edge_counts(self):
+        # Table 2's theoretical sizes pin |Eq|: 3, 4, 5, 6, 6.
+        assert (QG1.num_vertices, QG1.num_edges) == (3, 3)
+        assert (QG2.num_vertices, QG2.num_edges) == (4, 4)
+        assert (QG3.num_vertices, QG3.num_edges) == (4, 5)
+        assert (QG4.num_vertices, QG4.num_edges) == (4, 6)
+        assert (QG5.num_vertices, QG5.num_edges) == (5, 6)
+
+    def test_uniform_label_zero(self):
+        for query in QUERY_GRAPHS.values():
+            assert query.uniform_label() == 0
+
+    def test_connected(self):
+        for query in QUERY_GRAPHS.values():
+            assert query.is_connected()
+
+    def test_automorphism_groups(self):
+        # triangle 6, square 8, diamond 4, clique 24, house 2
+        expected = {"QG1": 6, "QG2": 8, "QG3": 4, "QG4": 24, "QG5": 2}
+        for name, size in expected.items():
+            assert len(automorphisms(QUERY_GRAPHS[name])) == size
+
+    def test_lookup_helpers(self):
+        assert query_graph("QG3") is QG3
+        with pytest.raises(ValueError):
+            query_graph("QG9")
+
+
+class TestDatasets:
+    def test_ten_table1_rows(self):
+        assert len(dataset_names()) == 10
+        assert len(table1_rows()) == 10
+
+    def test_load_is_cached(self):
+        assert load_dataset("YT") is load_dataset("YT")
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("XX")
+
+    def test_directedness_matches_spec(self):
+        for abbr, spec in DATASETS.items():
+            if abbr in ("CP", "WG", "WT"):  # cheap directed ones
+                assert load_dataset(abbr).directed == spec.directed
+
+    def test_hu_is_multilabeled(self):
+        hu = load_dataset("HU")
+        assert any(len(hu.labels_of(v)) > 1 for v in hu.vertices())
+        assert len(hu.distinct_labels()) > 10
+
+    def test_power_law_analogs_are_skewed(self):
+        for abbr in ("YT", "WT"):
+            graph = load_dataset(abbr)
+            seq = graph.degree_sequence()
+            assert seq[0] > 4 * seq[len(seq) // 2]
+
+    def test_warm_forces_nlc(self):
+        graph = load_dataset("YT")
+        assert warm(graph) is graph
+        assert graph.neighbor_label_counts(0) is not None
+
+
+class TestResultTable:
+    def test_render_contains_rows_and_notes(self):
+        table = ResultTable("demo", ["a", "b"])
+        table.add(a=1, b=2.5)
+        table.note("a note")
+        rendered = table.render()
+        assert "demo" in rendered
+        assert "2.50" in rendered
+        assert "note: a note" in rendered
+
+    def test_column_extraction(self):
+        table = ResultTable("demo", ["x"])
+        table.add(x=1)
+        table.add(x=2)
+        assert table.column("x") == [1, 2]
+
+    def test_missing_cell_renders_empty(self):
+        table = ResultTable("demo", ["x", "y"])
+        table.add(x=1)
+        assert table.render()  # no KeyError
+
+    def test_float_formatting(self):
+        table = ResultTable("demo", ["v"])
+        table.add(v=1234.5)
+        table.add(v=3.14159)
+        table.add(v=0.01234)
+        rendered = table.render()
+        assert "1234" in rendered or "1235" in rendered
+        assert "3.14" in rendered
+        assert "0.0123" in rendered
+
+
+class TestHelpers:
+    def test_timed(self):
+        value, seconds = timed(lambda: 41 + 1)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 4.0]) == pytest.approx(4.0)  # zeros skipped

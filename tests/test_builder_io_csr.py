@@ -1,0 +1,139 @@
+"""Tests for GraphBuilder, the IO formats, and the CSR view."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    Graph,
+    GraphBuilder,
+    from_csr,
+    load_csr_binary,
+    load_edge_list,
+    load_graph_format,
+    save_csr_binary,
+    save_edge_list,
+    save_graph_format,
+    to_csr,
+)
+
+
+class TestGraphBuilder:
+    def test_implicit_vertices(self):
+        b = GraphBuilder()
+        b.add_edge("x", "y")
+        g = b.build()
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+    def test_labels_via_add_vertex(self):
+        b = GraphBuilder()
+        b.add_vertex("a", labels=["L1"])
+        b.add_vertex("b")
+        b.add_edge("a", "b")
+        g = b.build()
+        assert g.label_of(0) == "L1"
+        assert g.label_of(1) == 0
+
+    def test_add_label_accumulates(self):
+        b = GraphBuilder()
+        b.add_vertex("a", labels=["L1"])
+        b.add_label("a", "L2")
+        g = b.build()
+        assert g.labels_of(0) == frozenset({"L1", "L2"})
+
+    def test_string_label_not_split(self):
+        b = GraphBuilder()
+        b.add_vertex("a", labels="protein")
+        assert b.build().labels_of(0) == frozenset({"protein"})
+
+    def test_empty_labels_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_vertex("a", labels=[])
+
+    def test_id_map_and_counts(self):
+        b = GraphBuilder(directed=True, name="d")
+        b.add_edges([("p", "q"), ("q", "r")])
+        assert b.num_vertices == 3
+        assert b.num_edges == 2
+        assert b.id_map() == {"p": 0, "q": 1, "r": 2}
+        g = b.build()
+        assert g.directed
+        assert g.name == "d"
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tmp_path):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], name="rt")
+        path = str(tmp_path / "g.txt")
+        save_edge_list(g, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_vertices == 4
+        assert loaded.num_edges == 3
+
+    def test_comments_and_sparse_ids(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# SNAP header\n10 20\n20 30\n% percent comment\n30 10\n")
+        g = load_edge_list(str(path))
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            load_edge_list(str(path))
+
+
+class TestGraphFormatIO:
+    def test_round_trip_with_labels(self, tmp_path):
+        g = Graph(3, [(0, 1), (1, 2)], labels=[7, 8, 7])
+        path = str(tmp_path / "g.graph")
+        save_graph_format(g, path)
+        loaded = load_graph_format(path)
+        assert loaded == g
+
+    def test_unknown_tag_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("t 1 0\nz nonsense\n")
+        with pytest.raises(ValueError):
+            load_graph_format(str(path))
+
+
+class TestCSR:
+    def test_structure(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        csr = to_csr(g)
+        assert csr.num_vertices == 3
+        assert csr.num_directed_edges == 4
+        assert list(csr.neighbors(0)) == [1, 2]
+        assert csr.degree(0) == 2
+        assert csr.degree(1) == 1
+
+    def test_adjacency_bytes(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        csr = to_csr(g)
+        assert csr.adjacency_bytes(0) == 2 * csr.adjacency.itemsize
+
+    def test_round_trip_through_graph(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (0, 3)], labels=["A", "B", "A", "B"])
+        back = from_csr(to_csr(g))
+        assert back == g
+
+    def test_binary_round_trip(self, tmp_path):
+        g = Graph(4, [(0, 1), (1, 3)], labels=[1, 2, 3, 4])
+        path = str(tmp_path / "g.csr")
+        save_csr_binary(g, path)
+        loaded = load_csr_binary(path)
+        assert loaded == g
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph.from_bytes(b"NOTACSR0" + b"\x00" * 32)
+
+    def test_inconsistent_frame_rejected(self):
+        bp = np.array([0, 1], dtype=np.int64)
+        adj = np.array([0, 0], dtype=np.int64)  # length 2, bp[-1] == 1
+        with pytest.raises(ValueError):
+            CSRGraph(bp, adj, (frozenset((0,)),))

@@ -1,0 +1,214 @@
+"""Tests for CECI construction, filtering and refinement — including a
+vertex-by-vertex walk of the paper's Figure 1/3 worked example."""
+
+import pytest
+
+from repro.core import (
+    CECI,
+    MatchStats,
+    QueryTree,
+    build_ceci,
+    initial_candidates,
+    intersect_sorted,
+    refine_ceci,
+)
+from repro.core.filtering import FilterConfig
+from repro.graph import Graph
+
+
+@pytest.fixture
+def paper_ceci(paper_query, paper_data):
+    """The CECI of the Figure 1 instance after Algorithm 1 (filtering),
+    before refinement; rooted at u1 as in the paper."""
+    tree = QueryTree(paper_query, root=0)
+    pivots = initial_candidates(paper_query, paper_data, 0)
+    stats = MatchStats()
+    ceci = build_ceci(tree, paper_data, pivots, stats)
+    return ceci, stats
+
+
+class TestPaperExampleFiltering:
+    def test_initial_pivots_are_v1_v2(self, paper_query, paper_data):
+        assert initial_candidates(paper_query, paper_data, 0) == [1, 2]
+
+    def test_te_candidates_of_u2_before_cascade_effect(self, paper_ceci):
+        ceci, _ = paper_ceci
+        # <v1, {v3,v5,v7}> survives; the <v2, {v7,v9}> entry is cascade-
+        # deleted when u3's entry for v2 empties (v8 fails NLCF).
+        assert ceci.te[1] == {1: [3, 5, 7]}
+
+    def test_te_candidates_of_u3(self, paper_ceci):
+        ceci, _ = paper_ceci
+        assert ceci.te[2] == {1: [4, 6]}
+
+    def test_v2_cascaded_out_of_pivots(self, paper_ceci):
+        ceci, stats = paper_ceci
+        assert ceci.pivots == [1]
+        assert stats.removed_by_cascade >= 1
+
+    def test_nte_candidates_of_u3_under_u2(self, paper_ceci):
+        ceci, _ = paper_ceci
+        # Paper Section 3.2: <v3,{v4}>, <v5,{v4,v6}>, <v7,{v6}>.
+        assert ceci.nte[2][1] == {3: [4], 5: [4, 6], 7: [6]}
+
+    def test_te_candidates_of_u4_and_u5(self, paper_ceci):
+        ceci, _ = paper_ceci
+        assert ceci.te[3] == {3: [11], 5: [13], 7: [15]}
+        assert ceci.te[4] == {4: [12], 6: [14]}
+
+    def test_nte_candidates_of_u4_under_u3(self, paper_ceci):
+        ceci, _ = paper_ceci
+        assert ceci.nte[3][2] == {4: [11], 6: [13]}
+
+    def test_v8_removed_by_nlc_filter(self, paper_ceci):
+        _, stats = paper_ceci
+        assert stats.removed_by_nlc >= 1
+
+
+class TestPaperExampleRefinement:
+    def test_cardinalities_match_paper(self, paper_ceci):
+        ceci, _ = paper_ceci
+        refine_ceci(ceci)
+        # Leaves: all ones.
+        assert ceci.cardinality[3] == {11: 1, 13: 1}
+        assert ceci.cardinality[4] == {12: 1, 14: 1}
+        # u2: v3 and v5 have cardinality 1; v7 is refined away because
+        # its only child v15 is not in the NTE candidates of u4.
+        assert ceci.cardinality[1] == {3: 1, 5: 1}
+        # u3: each candidate supports one u5 leaf.
+        assert ceci.cardinality[2] == {4: 1, 6: 1}
+        # Root cluster: product over children sums = (1+1) x (1+1) = 4.
+        # An *upper bound* on the 2 true embeddings — Section 4.3 notes
+        # the cardinality deliberately overestimates.
+        assert ceci.cardinality[0] == {1: 4}
+        assert ceci.cluster_cardinality(1) == 4
+
+    def test_v7_and_v15_removed(self, paper_ceci):
+        ceci, _ = paper_ceci
+        stats = MatchStats()
+        refine_ceci(ceci, stats)
+        assert ceci.te[1] == {1: [3, 5]}
+        assert 7 not in ceci.te[3]  # v7's u4 entry gone
+        # The <v7, {v6}> NTE entry of u3 is removed despite v6's own
+        # cardinality being fine (paper's exact example).
+        assert 7 not in ceci.nte[2][1]
+        assert stats.removed_by_refinement >= 2
+
+    def test_refined_index_yields_exactly_the_two_embeddings(
+        self, paper_query, paper_data
+    ):
+        from repro import match
+
+        found = set(match(paper_query, paper_data))
+        assert found == {(1, 3, 4, 11, 12), (1, 5, 6, 13, 14)}
+
+
+class TestCECIStructure:
+    def test_size_counters(self, paper_ceci):
+        ceci, stats = paper_ceci
+        assert stats.te_candidate_edges == ceci.te_edge_count()
+        assert stats.nte_candidate_edges == ceci.nte_edge_count()
+        assert stats.index_bytes == 8 * (
+            ceci.te_edge_count() + ceci.nte_edge_count()
+        )
+
+    def test_size_below_theoretical_bound(self, paper_query, paper_data, paper_ceci):
+        _, stats = paper_ceci
+        theoretical = stats.theoretical_bytes(
+            paper_query.num_edges, paper_data.num_edges
+        )
+        assert stats.index_bytes < theoretical
+        assert 0 < stats.space_saved_percent(
+            paper_query.num_edges, paper_data.num_edges
+        ) < 100
+
+    def test_remove_candidate_scrubs_everywhere(self, paper_ceci):
+        ceci, _ = paper_ceci
+        ceci.remove_candidate(1, 5)  # drop v5 as candidate of u2
+        assert 5 not in ceci.te[1][1]
+        assert 5 not in ceci.te[3]  # key removed from child u4
+        assert 5 not in ceci.nte[2][1]  # key removed from NTE child u3
+
+    def test_te_union_reflects_cascades(self, paper_ceci):
+        ceci, _ = paper_ceci
+        assert ceci.te_union(1) == {3, 5, 7}
+        assert ceci.te_union(0) == {1}
+
+    def test_repr_mentions_clusters(self, paper_ceci):
+        ceci, _ = paper_ceci
+        assert "clusters=1" in repr(ceci)
+
+
+class TestFilterConfigAblation:
+    def test_disabling_filters_keeps_completeness(self, paper_query, paper_data):
+        from repro import match
+
+        reference = set(match(paper_query, paper_data))
+        for kwargs in (
+            dict(use_degree_filter=False),
+            dict(use_nlc_filter=False),
+            dict(use_cascade=False),
+            dict(use_refinement=False),
+            dict(use_intersection=False),
+            dict(
+                use_degree_filter=False,
+                use_nlc_filter=False,
+                use_cascade=False,
+                use_refinement=False,
+                use_intersection=False,
+            ),
+        ):
+            assert set(match(paper_query, paper_data, **kwargs)) == reference
+
+    def test_weaker_filtering_never_shrinks_the_index(
+        self, paper_query, paper_data
+    ):
+        tree = QueryTree(paper_query, root=0)
+        pivots = initial_candidates(
+            paper_query, paper_data, 0, use_nlc_filter=False
+        )
+        full = build_ceci(tree, paper_data, list(pivots), MatchStats())
+        loose = build_ceci(
+            tree,
+            paper_data,
+            list(pivots),
+            MatchStats(),
+            FilterConfig(use_nlc_filter=False),
+        )
+        assert (
+            loose.te_edge_count() + loose.nte_edge_count()
+            >= full.te_edge_count() + full.nte_edge_count()
+        )
+
+
+class TestIntersectSorted:
+    def test_empty_input(self):
+        assert intersect_sorted([]) == []
+
+    def test_single_list_copied(self):
+        src = [1, 2, 3]
+        out = intersect_sorted([src])
+        assert out == src and out is not src
+
+    def test_two_lists(self):
+        assert intersect_sorted([[1, 3, 5, 7], [3, 4, 5]]) == [3, 5]
+
+    def test_three_lists(self):
+        assert intersect_sorted([[1, 2, 3, 4], [2, 4, 6], [4, 5]]) == [4]
+
+    def test_disjoint(self):
+        assert intersect_sorted([[1, 2], [3, 4]]) == []
+
+    def test_matches_set_intersection_on_random_input(self):
+        import random
+
+        rng = random.Random(42)
+        for _ in range(50):
+            lists = [
+                sorted(rng.sample(range(60), rng.randint(0, 25)))
+                for _ in range(rng.randint(1, 4))
+            ]
+            expected = set(lists[0])
+            for other in lists[1:]:
+                expected &= set(other)
+            assert intersect_sorted(lists) == sorted(expected)

@@ -1,0 +1,84 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph import Graph, load_graph_format, save_graph_format
+
+
+@pytest.fixture
+def files(tmp_path):
+    triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+    data = Graph(
+        6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5)]
+    )
+    qpath = str(tmp_path / "q.graph")
+    dpath = str(tmp_path / "d.graph")
+    save_graph_format(triangle, qpath)
+    save_graph_format(data, dpath)
+    return qpath, dpath, tmp_path
+
+
+class TestMatchCommand:
+    def test_lists_embeddings(self, files, capsys):
+        qpath, dpath, _ = files
+        assert main(["match", qpath, dpath]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["0 1 2", "2 3 4"]
+
+    def test_limit(self, files, capsys):
+        qpath, dpath, _ = files
+        main(["match", qpath, dpath, "--limit", "1"])
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_all_autos(self, files, capsys):
+        qpath, dpath, _ = files
+        main(["match", qpath, dpath, "--all-autos"])
+        assert len(capsys.readouterr().out.strip().splitlines()) == 12
+
+    def test_order_strategy_accepted(self, files, capsys):
+        qpath, dpath, _ = files
+        assert main(["match", qpath, dpath, "--order", "path_ranked"]) == 0
+        assert capsys.readouterr().out.strip()
+
+
+class TestCountCommand:
+    def test_count(self, files, capsys):
+        qpath, dpath, _ = files
+        assert main(["count", qpath, dpath]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+
+class TestIndexCommand:
+    def test_writes_loadable_index(self, files):
+        from repro.core import Enumerator, load_ceci
+
+        qpath, dpath, tmp_path = files
+        out = str(tmp_path / "idx.ceci")
+        assert main(["index", qpath, dpath, out]) == 0
+        data = load_graph_format(dpath)
+        loaded = load_ceci(out, data)
+        assert len(Enumerator(loaded).collect()) == 2
+
+
+class TestStatsCommand:
+    def test_emits_json(self, files, capsys):
+        qpath, dpath, _ = files
+        assert main(["stats", qpath, dpath]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["embeddings"] == 2
+        assert payload["recursive_calls"] > 0
+        assert "phases_seconds" in payload
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("kind", ["powerlaw", "kronecker", "erdos"])
+    def test_generates_loadable_graph(self, kind, tmp_path):
+        out = str(tmp_path / f"{kind}.graph")
+        assert main(["generate", kind, out, "--vertices", "64",
+                     "--edges-per-vertex", "3", "--labels", "4"]) == 0
+        graph = load_graph_format(out)
+        assert graph.num_vertices >= 32
+        assert len(graph.distinct_labels()) > 1

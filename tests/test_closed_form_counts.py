@@ -1,0 +1,150 @@
+"""Closed-form validation: on structured graphs the embedding counts
+have exact combinatorial formulas, giving an oracle independent of any
+matcher implementation.
+
+With automorphism breaking ON, the count equals the number of *distinct
+image subgraphs*; with it OFF, that times |Aut(query)|.
+"""
+
+from math import comb, factorial
+
+import pytest
+
+from repro import Graph, count_embeddings
+from repro.bench import QG1, QG2, QG3, QG4, QG5
+
+
+def clique(n: int) -> Graph:
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+def cycle(n: int) -> Graph:
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def star(tips: int) -> Graph:
+    return Graph(tips + 1, [(0, i) for i in range(1, tips + 1)])
+
+
+def path(n: int) -> Graph:
+    return Graph(n, [(i, i + 1) for i in range(n - 1)])
+
+
+def bipartite(a: int, b: int) -> Graph:
+    return Graph(a + b, [(i, a + j) for i in range(a) for j in range(b)])
+
+
+class TestTrianglesQG1:
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7])
+    def test_triangles_in_clique(self, n):
+        # K_n contains C(n,3) triangles
+        assert count_embeddings(QG1, clique(n)) == comb(n, 3)
+
+    def test_triangles_in_cycle(self):
+        assert count_embeddings(QG1, cycle(6)) == 0
+
+    def test_all_automorphisms_factor(self):
+        n = 6
+        broken = count_embeddings(QG1, clique(n))
+        unbroken = count_embeddings(QG1, clique(n), break_automorphisms=False)
+        assert unbroken == broken * 6
+
+
+class TestSquaresQG2:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_squares_in_clique(self, n):
+        # choose 4 vertices, 3 distinct 4-cycles on each set
+        assert count_embeddings(QG2, clique(n)) == 3 * comb(n, 4)
+
+    def test_squares_in_bipartite(self):
+        # K_{a,b}: C(a,2)*C(b,2) squares
+        a, b = 3, 4
+        assert count_embeddings(QG2, bipartite(a, b)) == comb(a, 2) * comb(b, 2)
+
+    def test_square_in_cycle(self):
+        assert count_embeddings(QG2, cycle(4)) == 1
+        assert count_embeddings(QG2, cycle(5)) == 0
+
+
+class TestDiamondsQG3:
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_diamonds_in_clique(self, n):
+        # choose 4 vertices; the diamond's image is K4 minus one edge:
+        # 6 ways to pick the missing edge
+        assert count_embeddings(QG3, clique(n)) == 6 * comb(n, 4)
+
+    def test_no_diamond_in_bipartite(self):
+        # diamonds contain triangles; bipartite graphs have none
+        assert count_embeddings(QG3, bipartite(3, 3)) == 0
+
+
+class TestCliquesQG4:
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_k4_in_clique(self, n):
+        assert count_embeddings(QG4, clique(n)) == comb(n, 4)
+
+    def test_unbroken_factor_24(self):
+        n = 5
+        assert count_embeddings(
+            QG4, clique(n), break_automorphisms=False
+        ) == comb(n, 4) * 24
+
+
+class TestHousesQG5:
+    @pytest.mark.parametrize("n", [5, 6])
+    def test_houses_in_clique(self, n):
+        # ordered embeddings: n!/(n-5)! choices; |Aut(house)| = 2
+        ordered = factorial(n) // factorial(n - 5)
+        assert count_embeddings(QG5, clique(n)) == ordered // 2
+
+    def test_house_in_its_own_shape(self):
+        house = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
+        assert count_embeddings(QG5, house) == 1
+
+
+class TestPathsAndStars:
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_star_in_star(self, k):
+        # S_k in S_m: center->center, tips are m-choose-k ordered /
+        # broken by symmetry -> C(m,k)
+        m = 6
+        assert count_embeddings(star(k), star(m)) == comb(m, k)
+
+    def test_path3_in_clique(self):
+        # P3 images in K_n: C(n,3) vertex sets x 3 middle choices
+        n = 5
+        assert count_embeddings(path(3), clique(n)) == 3 * comb(n, 3)
+
+    def test_path_in_cycle(self):
+        # P_k wraps around C_n in n positions (per direction; breaking
+        # the end-swap symmetry keeps one direction)
+        assert count_embeddings(path(4), cycle(7)) == 7
+
+    def test_edge_in_clique(self):
+        n = 6
+        assert count_embeddings(path(2), clique(n)) == comb(n, 2)
+
+    def test_single_vertex(self):
+        assert count_embeddings(Graph(1, []), clique(5)) == 5
+
+
+class TestLabeledClosedForms:
+    def test_labeled_star_counts(self):
+        # center A with 3 B tips and 2 C tips; query: A with 2 B tips
+        labels = ["A"] + ["B"] * 3 + ["C"] * 2
+        data = Graph(6, [(0, i) for i in range(1, 6)], labels=labels)
+        query = Graph(3, [(0, 1), (0, 2)], labels=["A", "B", "B"])
+        assert count_embeddings(query, data) == comb(3, 2)
+
+    def test_labeled_triangle_direction(self):
+        # A-B-C triangle in K3 labeled A,B,C: exactly one embedding
+        data = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["A", "B", "C"])
+        query = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["A", "B", "C"])
+        assert count_embeddings(query, data) == 1
+
+    def test_bipartite_labeled(self):
+        # K_{2,3} with sides labeled L/R; one L-R edge query
+        data = bipartite(2, 3)
+        data = Graph(5, data.edges, labels=["L", "L", "R", "R", "R"])
+        query = Graph(2, [(0, 1)], labels=["L", "R"])
+        assert count_embeddings(query, data) == 6

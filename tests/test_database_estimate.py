@@ -1,0 +1,127 @@
+"""Tests for the graph-database containment layer and the approximate
+embedding-count estimator."""
+
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.core import (
+    GraphDatabase,
+    cardinality_bound,
+    estimate_embeddings,
+)
+from repro.graph import erdos_renyi, inject_labels, power_law
+
+
+@pytest.fixture
+def molecule_db():
+    graphs = [
+        Graph(3, [(0, 1), (1, 2)], labels=["C", "O", "C"]),       # ether
+        Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["C", "C", "C"]),  # ring
+        Graph(2, [(0, 1)], labels=["N", "C"]),
+        Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], labels=["C", "O", "C", "O"]),
+    ]
+    return GraphDatabase(graphs)
+
+
+class TestGraphDatabase:
+    def test_len_and_getitem(self, molecule_db):
+        assert len(molecule_db) == 4
+        assert molecule_db[2].num_vertices == 2
+
+    def test_containment_finds_matches(self, molecule_db):
+        ether = Graph(3, [(0, 1), (1, 2)], labels=["C", "O", "C"])
+        result = molecule_db.contains(ether)
+        assert set(result.matches) == {0, 3}
+
+    def test_label_filter_prunes_without_verification(self, molecule_db):
+        sulfur = Graph(1, [], labels=["S"])
+        result = molecule_db.contains(sulfur)
+        assert result.matches == ()
+        assert result.filtered_out == 4
+        assert result.verified == 0
+
+    def test_edge_count_filter(self, molecule_db):
+        big = Graph(5, [(i, i + 1) for i in range(4)] + [(0, 4), (1, 3)],
+                    labels=["C"] * 5)
+        result = molecule_db.contains(big)
+        assert result.filtered_out == 4  # nobody has 6 edges
+
+    def test_degree_filter(self, molecule_db):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)], labels=["C", "C", "C", "C"])
+        result = molecule_db.contains(star)
+        assert result.matches == ()  # max degree in db is 2
+
+    def test_false_candidates_counted(self):
+        # a 5-cycle query against a bowtie: enough edges, enough degree,
+        # same labels -> passes every filter, fails verification
+        bowtie = Graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])
+        db = GraphDatabase([bowtie])
+        five_cycle = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        result = db.contains(five_cycle)
+        assert result.false_candidates == 1
+        assert result.matches == ()
+
+    def test_occurrences_lists_embeddings(self, molecule_db):
+        ether = Graph(3, [(0, 1), (1, 2)], labels=["C", "O", "C"])
+        occurrences = molecule_db.occurrences(ether)
+        assert set(occurrences) == {0, 3}
+        assert all(embeddings for embeddings in occurrences.values())
+
+    def test_add_after_construction(self, molecule_db):
+        index = molecule_db.add(Graph(2, [(0, 1)], labels=["S", "S"]))
+        sulfur = Graph(1, [], labels=["S"])
+        assert index in molecule_db.contains(sulfur).matches
+
+
+class TestEstimator:
+    @pytest.fixture(scope="class")
+    def triangle_instance(self):
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        data = power_law(250, 5, seed=11, min_edges_per_vertex=1)
+        return triangle, data
+
+    def test_bound_dominates_truth(self, triangle_instance):
+        triangle, data = triangle_instance
+        matcher = CECIMatcher(triangle, data, break_automorphisms=False)
+        true_count = matcher.count()
+        assert cardinality_bound(matcher) >= true_count
+
+    def test_estimate_close_to_truth(self, triangle_instance):
+        triangle, data = triangle_instance
+        truth = CECIMatcher(triangle, data, break_automorphisms=False).count()
+        matcher = CECIMatcher(triangle, data, break_automorphisms=False)
+        result = estimate_embeddings(matcher, samples=4000, seed=5)
+        assert result.estimate == pytest.approx(truth, rel=0.3)
+        assert 0 < result.hits <= result.samples
+
+    def test_estimate_zero_when_no_embeddings(self):
+        data = Graph(3, [(0, 1), (1, 2)], labels=["A", "B", "A"])
+        query = Graph(2, [(0, 1)], labels=["A", "Z"])
+        matcher = CECIMatcher(query, data, break_automorphisms=False)
+        result = estimate_embeddings(matcher, samples=50)
+        assert result.estimate == 0.0
+        assert result.bound == 0
+
+    def test_invalid_sample_count(self, triangle_instance):
+        triangle, data = triangle_instance
+        matcher = CECIMatcher(triangle, data, break_automorphisms=False)
+        with pytest.raises(ValueError):
+            estimate_embeddings(matcher, samples=0)
+
+    def test_deterministic_for_seed(self, triangle_instance):
+        triangle, data = triangle_instance
+        a = estimate_embeddings(
+            CECIMatcher(triangle, data, break_automorphisms=False),
+            samples=200, seed=42,
+        )
+        b = estimate_embeddings(
+            CECIMatcher(triangle, data, break_automorphisms=False),
+            samples=200, seed=42,
+        )
+        assert a.estimate == b.estimate
+
+    def test_repr_mentions_numbers(self, triangle_instance):
+        triangle, data = triangle_instance
+        matcher = CECIMatcher(triangle, data, break_automorphisms=False)
+        result = estimate_embeddings(matcher, samples=100, seed=1)
+        assert "embeddings" in repr(result)

@@ -1,0 +1,181 @@
+"""Tests for the simulated distributed runtime."""
+
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.distributed import (
+    DistributedCECI,
+    InMemoryStorage,
+    SharedStorage,
+    distribute_pivots,
+    jaccard_similarity,
+    lightweight_workload,
+)
+from repro.graph import power_law
+
+
+@pytest.fixture(scope="module")
+def data():
+    return power_law(400, 4, seed=73)
+
+
+@pytest.fixture(scope="module")
+def triangle_query():
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+class TestLightweightWorkload:
+    def test_memory_mode_counts_neighborhood(self, data):
+        v = 0
+        expected_base = data.degree(v) + sum(
+            data.degree(w) for w in data.neighbors(v)
+        )
+        n = data.num_vertices
+        assert lightweight_workload(data, v, "memory") == pytest.approx(
+            expected_base * (n - v) / n
+        )
+
+    def test_shared_mode_uses_degree_only(self, data):
+        v = 5
+        n = data.num_vertices
+        assert lightweight_workload(data, v, "shared") == pytest.approx(
+            data.degree(v) * (n - v) / n
+        )
+
+    def test_vertex_id_scaling_decreases(self, data):
+        # same degree structure would weigh less for higher ids
+        low = lightweight_workload(data, 10, "shared") / max(data.degree(10), 1)
+        high = lightweight_workload(data, 390, "shared") / max(
+            data.degree(390), 1
+        )
+        assert low > high
+
+    def test_unknown_mode_rejected(self, data):
+        with pytest.raises(ValueError):
+            lightweight_workload(data, 0, "quantum")
+
+
+class TestJaccard:
+    def test_identical_neighborhoods(self):
+        g = Graph(4, [(0, 2), (0, 3), (1, 2), (1, 3)])
+        assert jaccard_similarity(g, 0, 1) == 1.0
+
+    def test_disjoint_neighborhoods(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert jaccard_similarity(g, 0, 2) == 0.0
+
+    def test_partial_overlap(self):
+        g = Graph(5, [(0, 2), (0, 3), (1, 3), (1, 4)])
+        assert jaccard_similarity(g, 0, 1) == pytest.approx(1 / 3)
+
+
+class TestDistributePivots:
+    def test_partition_covers_all_pivots(self, data):
+        pivots = list(range(0, 100))
+        machines = distribute_pivots(data, pivots, 4)
+        flattened = sorted(v for ms in machines for v in ms)
+        assert flattened == pivots
+
+    def test_single_machine(self, data):
+        machines = distribute_pivots(data, [1, 2, 3], 1)
+        assert machines == [[1, 2, 3]]
+
+    def test_load_roughly_balanced(self, data):
+        pivots = list(range(200))
+        machines = distribute_pivots(data, pivots, 4, mode="shared")
+        loads = [
+            sum(lightweight_workload(data, v, "shared") for v in ms)
+            for ms in machines
+        ]
+        assert max(loads) <= 2.0 * (sum(loads) / len(loads))
+
+    def test_similar_clusters_colocated(self):
+        # Pivots 0 and 1 share their whole neighborhood (J = 1.0); with
+        # enough filler pivots the group fits under the load cap and
+        # must land on one machine.
+        edges = [(0, 2), (0, 3), (1, 2), (1, 3)]
+        fillers = list(range(4, 24, 2))
+        edges += [(v, v + 1) for v in fillers]
+        g = Graph(24, edges)
+        machines = distribute_pivots(g, [0, 1] + fillers, 2, mode="memory")
+        home = next(m for m, ms in enumerate(machines) if 0 in ms)
+        assert 1 in machines[home]
+
+    def test_invalid_machine_count(self, data):
+        with pytest.raises(ValueError):
+            distribute_pivots(data, [0], 0)
+
+
+class TestStorageModels:
+    def test_in_memory_charges_nothing(self, data):
+        storage = InMemoryStorage(data)
+        g = storage.graph_for_machine(0)
+        g.neighbors(0)
+        g.has_edge(0, 1)
+        assert storage.io_cost == 0.0
+
+    def test_shared_charges_per_first_touch(self, data):
+        storage = SharedStorage(data)
+        g = storage.graph_for_machine(0)
+        g.neighbors(0)
+        first = storage.io_cost
+        g.neighbors(0)  # cached
+        assert storage.io_cost == first
+        g.neighbors(1)
+        assert storage.io_cost > first
+        assert storage.io_requests == 2
+
+    def test_tracked_graph_forwards_metadata(self, data):
+        storage = SharedStorage(data)
+        g = storage.graph_for_machine(0)
+        assert g.num_vertices == data.num_vertices
+        assert g.degree(3) == data.degree(3)
+        assert g.labels_of(0) == data.labels_of(0)
+
+    def test_memory_footprints(self, data):
+        replicated = InMemoryStorage(data)
+        shared = SharedStorage(data)
+        assert shared.memory_bytes_per_machine(4) < replicated.memory_bytes_per_machine(4)
+
+
+class TestDistributedRuns:
+    def test_embeddings_match_sequential(self, triangle_query, data):
+        sequential = set(CECIMatcher(triangle_query, data).match())
+        for mode in ("memory", "shared"):
+            result = DistributedCECI(
+                triangle_query, data, num_machines=4, mode=mode
+            ).run()
+            assert set(result.embeddings) == sequential
+            assert len(result.embeddings) == len(sequential)
+
+    def test_speedup_with_more_machines(self, triangle_query, data):
+        t1 = DistributedCECI(triangle_query, data, num_machines=1).run()
+        t8 = DistributedCECI(triangle_query, data, num_machines=8).run()
+        assert t8.total_time < t1.total_time
+
+    def test_shared_mode_has_io_in_breakdown(self, triangle_query, data):
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, mode="shared"
+        ).run()
+        breakdown = result.construction_breakdown()
+        assert breakdown["io"] > 0
+        assert breakdown["compute"] > 0
+
+    def test_memory_mode_has_no_io(self, triangle_query, data):
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, mode="memory"
+        ).run()
+        assert result.construction_breakdown()["io"] == 0.0
+
+    def test_work_stealing_happens_on_imbalance(self, triangle_query, data):
+        result = DistributedCECI(
+            triangle_query, data, num_machines=8, mode="memory"
+        ).run()
+        assert sum(r.steals for r in result.reports) >= 0  # never negative
+        # every machine report accounts its pivots
+        all_pivots = sorted(v for r in result.reports for v in r.pivots)
+        assert len(all_pivots) == len(set(all_pivots))
+
+    def test_unknown_mode_rejected(self, triangle_query, data):
+        with pytest.raises(ValueError):
+            DistributedCECI(triangle_query, data, mode="floppy")

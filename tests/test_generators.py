@@ -1,0 +1,153 @@
+"""Tests for the synthetic graph generators and query extraction."""
+
+import pytest
+
+from repro.graph import (
+    dense_labeled,
+    erdos_renyi,
+    generate_query,
+    generate_query_set,
+    inject_labels,
+    kronecker,
+    power_law,
+    relabel_with,
+)
+
+
+class TestKronecker:
+    def test_vertex_count_is_power_of_two(self):
+        g = kronecker(6, seed=1)
+        assert g.num_vertices == 64
+
+    def test_deterministic(self):
+        assert kronecker(6, seed=7) == kronecker(6, seed=7)
+
+    def test_seed_changes_graph(self):
+        assert kronecker(6, seed=1) != kronecker(6, seed=2)
+
+    def test_edge_factor_bounds_edges(self):
+        g = kronecker(7, edge_factor=4, seed=3)
+        assert 0 < g.num_edges <= 4 * 128
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            kronecker(0)
+
+    def test_invalid_initiator_rejected(self):
+        with pytest.raises(ValueError):
+            kronecker(4, a=0.6, b=0.3, c=0.3)
+
+    def test_skewed_degrees(self):
+        g = kronecker(9, seed=5)
+        seq = g.degree_sequence()
+        # RMAT graphs are heavy-tailed: top vertex far above the median.
+        assert seq[0] >= 5 * max(seq[len(seq) // 2], 1)
+
+
+class TestPowerLaw:
+    def test_connected(self):
+        assert power_law(200, 3, seed=1).is_connected()
+
+    def test_edge_count(self):
+        g = power_law(200, 3, seed=1)
+        # seed clique + m edges per subsequent vertex
+        assert g.num_edges == 6 + (200 - 4) * 3
+
+    def test_heavy_tail(self):
+        g = power_law(500, 4, seed=2)
+        seq = g.degree_sequence()
+        assert seq[0] > 3 * seq[len(seq) // 2]
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            power_law(3, 4)
+
+    def test_deterministic(self):
+        assert power_law(100, 3, seed=9) == power_law(100, 3, seed=9)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(30, 60, seed=1)
+        assert g.num_edges == 60
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(4, 7)
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 50, seed=4) == erdos_renyi(30, 50, seed=4)
+
+
+class TestDenseLabeled:
+    def test_label_universe(self):
+        g = dense_labeled(num_vertices=100, avg_degree=10, num_labels=9, seed=1)
+        assert all(
+            label in range(9) for v in g.vertices() for label in g.labels_of(v)
+        )
+
+    def test_multi_labels_present(self):
+        g = dense_labeled(num_vertices=200, avg_degree=10, seed=2)
+        assert any(len(g.labels_of(v)) > 1 for v in g.vertices())
+
+    def test_density(self):
+        g = dense_labeled(num_vertices=100, avg_degree=20, seed=3)
+        assert g.num_edges == 100 * 20 // 2
+
+
+class TestLabelInjection:
+    def test_inject_labels_universe_and_structure(self):
+        base = erdos_renyi(40, 80, seed=1)
+        labeled = inject_labels(base, 5, seed=2)
+        assert labeled.edges == base.edges
+        assert all(
+            next(iter(labeled.labels_of(v))) in range(5)
+            for v in labeled.vertices()
+        )
+
+    def test_relabel_with(self):
+        base = erdos_renyi(3, 2, seed=1)
+        relabeled = relabel_with(base, ["X", "Y", "Z"])
+        assert relabeled.label_of(2) == "Z"
+        assert relabeled.edges == base.edges
+
+
+class TestQueryGeneration:
+    def test_query_is_connected_induced_subgraph(self):
+        data = power_law(150, 4, seed=3)
+        q = generate_query(data, 6, seed=1)
+        assert q.num_vertices == 6
+        assert q.is_connected()
+
+    def test_query_has_at_least_one_embedding(self):
+        from repro import match
+
+        data = inject_labels(power_law(120, 4, seed=4), 4, seed=4)
+        q = generate_query(data, 5, seed=9)
+        assert match(q, data, limit=1, break_automorphisms=False)
+
+    def test_backward_edges_included(self):
+        # On a clique the DFS selection must keep every backward edge.
+        from repro.graph import Graph
+
+        clique = Graph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        q = generate_query(clique, 4, seed=0)
+        assert q.num_edges == 6  # induced 4-clique
+
+    def test_oversized_query_rejected(self):
+        data = erdos_renyi(5, 4, seed=1)
+        with pytest.raises(ValueError):
+            generate_query(data, 10)
+
+    def test_query_set_count_and_determinism(self):
+        data = power_law(100, 3, seed=5)
+        qs1 = generate_query_set(data, 4, count=5, seed=7)
+        qs2 = generate_query_set(data, 4, count=5, seed=7)
+        assert len(qs1) == 5
+        assert qs1 == qs2
+
+    def test_keep_all_labels(self):
+        data = dense_labeled(num_vertices=80, avg_degree=10, seed=6)
+        q = generate_query(data, 3, seed=2, keep_all_labels=True)
+        # multi-label vertices can appear with their full label set
+        assert all(len(q.labels_of(u)) >= 1 for u in q.vertices())

@@ -1,0 +1,176 @@
+"""Unit tests for the labeled graph store."""
+
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.num_vertices == 4
+        assert g.num_edges == 3
+
+    def test_duplicate_edges_collapse(self):
+        g = Graph(3, [(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 0)])
+
+    def test_out_of_range_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(2, [(0, 5)])
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.is_connected()
+
+    def test_edges_normalized_sorted(self):
+        g = Graph(3, [(2, 0), (1, 0)])
+        assert g.edges == ((0, 1), (0, 2))
+
+
+class TestAdjacency:
+    def test_neighbors_sorted(self):
+        g = Graph(4, [(0, 3), (0, 1), (0, 2)])
+        assert g.neighbors(0) == (1, 2, 3)
+
+    def test_adjacency_symmetric(self):
+        g = Graph(3, [(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_neighbor_set_matches_neighbors(self):
+        g = Graph(5, [(0, 1), (0, 3), (2, 3)])
+        for v in g.vertices():
+            assert g.neighbor_set(v) == frozenset(g.neighbors(v))
+
+
+class TestLabels:
+    def test_default_label_zero(self):
+        g = Graph(2, [(0, 1)])
+        assert g.labels_of(0) == frozenset((0,))
+
+    def test_scalar_labels(self):
+        g = Graph(2, [(0, 1)], labels=["A", "B"])
+        assert g.label_of(0) == "A"
+        assert g.vertices_with_label("B") == (1,)
+
+    def test_multi_labels(self):
+        g = Graph(2, [(0, 1)], labels=[{"A", "B"}, {"B"}])
+        assert g.labels_of(0) == frozenset({"A", "B"})
+        assert set(g.vertices_with_label("B")) == {0, 1}
+
+    def test_mapping_labels(self):
+        g = Graph(3, [(0, 1)], labels={0: "X", 2: "Y"})
+        assert g.label_of(0) == "X"
+        assert g.label_of(1) == 0  # default for missing key
+
+    def test_label_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [], labels=["A"])
+
+    def test_empty_label_set_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(1, [], labels=[set()])
+
+    def test_label_matches_subset_rule(self):
+        g = Graph(1, [], labels=[{"A", "B"}])
+        assert g.label_matches(frozenset({"A"}), 0)
+        assert g.label_matches(frozenset({"A", "B"}), 0)
+        assert not g.label_matches(frozenset({"C"}), 0)
+
+    def test_distinct_labels(self):
+        g = Graph(3, [], labels=["A", "B", "A"])
+        assert set(g.distinct_labels()) == {"A", "B"}
+
+
+class TestNeighborLabelCounts:
+    def test_counts(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)], labels=["X", "A", "A", "B"])
+        nlc = g.neighbor_label_counts(0)
+        assert nlc["A"] == 2
+        assert nlc["B"] == 1
+
+    def test_multilabel_neighbor_counts_each_label(self):
+        g = Graph(2, [(0, 1)], labels=[{"X"}, {"A", "B"}])
+        nlc = g.neighbor_label_counts(0)
+        assert nlc == {"A": 1, "B": 1}
+
+
+class TestBulkAccessors:
+    def test_adjacency_table(self):
+        g = Graph(3, [(0, 1), (0, 2)])
+        assert g.adjacency == ((1, 2), (0,), (0,))
+
+    def test_degrees_table(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degrees == (3, 1, 1, 1)
+
+    def test_label_table(self):
+        g = Graph(2, [(0, 1)], labels=["A", "B"])
+        assert g.label_table == (frozenset({"A"}), frozenset({"B"}))
+
+    def test_uniform_label_detected(self):
+        assert Graph(3, [(0, 1)]).uniform_label() == 0
+        assert Graph(2, [], labels=["A", "A"]).uniform_label() == "A"
+
+    def test_uniform_label_absent_with_mixed_labels(self):
+        assert Graph(2, [], labels=["A", "B"]).uniform_label() is None
+
+    def test_uniform_label_absent_with_multilabels(self):
+        assert Graph(2, [], labels=[{"A", "B"}, {"A", "B"}]).uniform_label() is None
+
+
+class TestDerivedViews:
+    def test_subgraph_preserves_edges_and_labels(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], labels=["A", "B", "C", "D"])
+        sub = g.subgraph([1, 2, 3])
+        assert sub.num_vertices == 3
+        assert sub.edges == ((0, 1), (1, 2))
+        assert sub.label_of(0) == "B"
+
+    def test_subgraph_duplicate_rejected(self):
+        g = Graph(3, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.subgraph([0, 0])
+
+    def test_is_connected(self):
+        assert Graph(3, [(0, 1), (1, 2)]).is_connected()
+        assert not Graph(3, [(0, 1)]).is_connected()
+
+    def test_degree_sequence_descending(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree_sequence() == [3, 1, 1, 1]
+
+
+class TestDunder:
+    def test_len_and_iter(self):
+        g = Graph(3, [(0, 1)])
+        assert len(g) == 3
+        assert list(g) == [0, 1, 2]
+
+    def test_equality_and_hash(self):
+        a = Graph(2, [(0, 1)], labels=["A", "B"])
+        b = Graph(2, [(1, 0)], labels=["A", "B"])
+        c = Graph(2, [(0, 1)], labels=["A", "C"])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_size(self):
+        g = Graph(2, [(0, 1)], name="tiny")
+        assert "tiny" in repr(g)
+        assert "|V|=2" in repr(g)

@@ -1,0 +1,66 @@
+"""Tests for CECI index persistence."""
+
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.core import Enumerator, dump_ceci_bytes, load_ceci, load_ceci_bytes, save_ceci
+from repro.graph import inject_labels, power_law
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = inject_labels(
+        power_law(200, 5, seed=3, min_edges_per_vertex=1), 3, seed=3
+    )
+    query = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                  labels=[0, 1, 0, 2])
+    return query, data
+
+
+class TestRoundTrip:
+    def test_bytes_round_trip_preserves_structure(self, instance):
+        query, data = instance
+        matcher = CECIMatcher(query, data)
+        ceci = matcher.build()
+        loaded = load_ceci_bytes(dump_ceci_bytes(ceci), data)
+        assert loaded.pivots == ceci.pivots
+        assert loaded.te == ceci.te
+        assert loaded.nte == ceci.nte
+        assert loaded.cardinality == ceci.cardinality
+        assert loaded.tree.order == ceci.tree.order
+
+    def test_loaded_index_enumerates_identically(self, instance):
+        query, data = instance
+        matcher = CECIMatcher(query, data)
+        reference = sorted(matcher.match())
+        loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
+        got = sorted(Enumerator(loaded, symmetry=matcher.symmetry).collect())
+        assert got == reference
+
+    def test_file_round_trip(self, instance, tmp_path):
+        query, data = instance
+        matcher = CECIMatcher(query, data)
+        ceci = matcher.build()
+        path = str(tmp_path / "index.ceci")
+        save_ceci(ceci, path)
+        loaded = load_ceci(path, data)
+        assert loaded.pivots == ceci.pivots
+
+    def test_string_labels_survive(self):
+        data = Graph(4, [(0, 1), (1, 2), (2, 3)], labels=["C", "O", "C", "N"])
+        query = Graph(2, [(0, 1)], labels=["C", "O"])
+        matcher = CECIMatcher(query, data)
+        loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
+        assert loaded.tree.query.labels_of(0) == frozenset({"C"})
+
+    def test_bad_magic_rejected(self, instance):
+        _, data = instance
+        with pytest.raises(ValueError):
+            load_ceci_bytes(b"NOTANIDX" + b"\x00" * 64, data)
+
+    def test_loaded_index_is_frozen(self, instance):
+        query, data = instance
+        matcher = CECIMatcher(query, data)
+        loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
+        assert loaded.nte_sets is not None
+        assert loaded.te_sets is not None

@@ -1,0 +1,145 @@
+"""Tests for the BFS query tree and matching orders."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.core import QueryTree, bfs_order, edge_ranked_order, make_order, path_ranked_order
+
+
+@pytest.fixture
+def figure1_query():
+    """Figure 1 query: u1..u5 -> 0..4, labels A,B,C,D,E."""
+    return Graph(
+        5,
+        [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (2, 4)],
+        labels=["A", "B", "C", "D", "E"],
+    )
+
+
+class TestQueryTree:
+    def test_figure1_tree_and_non_tree_edges(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        # Paper: TE = (u1,u2),(u1,u3),(u2,u4),(u3,u5); NTE = (u2,u3),(u3,u4)
+        assert set(tree.tree_edges) == {(0, 1), (0, 2), (1, 3), (2, 4)}
+        assert set(tree.non_tree_edges) == {(1, 2), (2, 3)}
+
+    def test_bfs_order_default(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        assert tree.order == (0, 1, 2, 3, 4)
+
+    def test_parent_and_level(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        assert tree.parent[0] == -1
+        assert tree.parent[3] == 1
+        assert tree.level[3] == 2
+
+    def test_children(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        assert tree.children[0] == (1, 2)
+        assert tree.children[1] == (3,)
+        assert tree.is_leaf(3)
+        assert not tree.is_leaf(0)
+
+    def test_nte_parent_orientation_follows_order(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        assert tree.nte_parents[2] == (1,)  # (u2,u3): u2 earlier
+        assert tree.nte_parents[3] == (2,)  # (u3,u4): u3 earlier
+        assert tree.nte_children[1] == (2,)
+
+    def test_reverse_order(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0)
+        assert tree.reverse_order() == (4, 3, 2, 1, 0)
+
+    def test_custom_tree_compatible_order_accepted(self, figure1_query):
+        tree = QueryTree(figure1_query, root=0, order=[0, 2, 1, 4, 3])
+        assert tree.order == (0, 2, 1, 4, 3)
+        # NTE orientation flips with the order: u3 (=2) now precedes u2.
+        assert (2, 1) in tree.non_tree_edges
+
+    def test_order_violating_tree_parent_rejected(self, figure1_query):
+        with pytest.raises(ValueError):
+            QueryTree(figure1_query, root=0, order=[0, 3, 1, 2, 4])
+
+    def test_order_not_permutation_rejected(self, figure1_query):
+        with pytest.raises(ValueError):
+            QueryTree(figure1_query, root=0, order=[0, 1, 2, 3])
+
+    def test_order_must_start_at_root(self, figure1_query):
+        with pytest.raises(ValueError):
+            QueryTree(figure1_query, root=0, order=[1, 0, 2, 3, 4])
+
+    def test_disconnected_query_rejected(self):
+        with pytest.raises(ValueError):
+            QueryTree(Graph(3, [(0, 1)]), root=0)
+
+    def test_invalid_root_rejected(self, figure1_query):
+        with pytest.raises(ValueError):
+            QueryTree(figure1_query, root=99)
+
+    def test_single_vertex_query(self):
+        tree = QueryTree(Graph(1, []), root=0)
+        assert tree.order == (0,)
+        assert tree.tree_edges == ()
+        assert tree.non_tree_edges == ()
+
+
+class TestMatchingOrders:
+    def test_bfs_order_levels(self, figure1_query):
+        assert bfs_order(figure1_query, 0) == (0, 1, 2, 3, 4)
+
+    def test_bfs_order_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            bfs_order(Graph(3, [(0, 1)]), 0)
+
+    def test_edge_ranked_prefers_selective(self, figure1_query):
+        # u3 (=2) has fewer candidates than u2 (=1) -> visited first.
+        counts = [2, 10, 1, 5, 5]
+        order = edge_ranked_order(figure1_query, 0, counts)
+        assert order[0] == 0
+        assert order.index(2) < order.index(1)
+
+    def test_edge_ranked_is_tree_compatible(self, figure1_query):
+        counts = [1] * 5
+        order = edge_ranked_order(figure1_query, 0, counts)
+        QueryTree(figure1_query, 0, order)  # must not raise
+
+    def test_path_ranked_emits_cheapest_path_first(self, figure1_query):
+        counts = [1, 100, 1, 100, 1]
+        order = path_ranked_order(figure1_query, 0, counts)
+        assert order[0] == 0
+        # cheapest root-to-leaf path is 0-2-4
+        assert order[1] == 2 and order[2] == 4
+
+    def test_path_ranked_is_tree_compatible(self, figure1_query):
+        counts = [3, 1, 4, 1, 5]
+        order = path_ranked_order(figure1_query, 0, counts)
+        QueryTree(figure1_query, 0, order)  # must not raise
+
+    def test_make_order_dispatch(self, figure1_query):
+        assert make_order(figure1_query, 0, "bfs") == bfs_order(figure1_query, 0)
+        counts = [1] * 5
+        assert make_order(figure1_query, 0, "edge_ranked", counts)
+        assert make_order(figure1_query, 0, "path_ranked", counts)
+
+    def test_make_order_requires_counts_for_ranked(self, figure1_query):
+        with pytest.raises(ValueError):
+            make_order(figure1_query, 0, "edge_ranked")
+
+    def test_make_order_unknown_strategy(self, figure1_query):
+        with pytest.raises(ValueError):
+            make_order(figure1_query, 0, "magic", [1] * 5)
+
+    def test_all_orders_yield_same_embeddings(self):
+        from repro import match
+        from repro.graph import inject_labels, power_law
+
+        data = inject_labels(power_law(120, 4, seed=11), 3, seed=11)
+        query = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                      labels=[0, 1, 0, 2])
+        reference = None
+        for strategy in ("bfs", "edge_ranked", "path_ranked"):
+            found = set(match(query, data, order_strategy=strategy,
+                              break_automorphisms=False))
+            if reference is None:
+                reference = found
+            assert found == reference

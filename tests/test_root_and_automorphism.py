@@ -1,0 +1,195 @@
+"""Tests for root selection and automorphism breaking."""
+
+import pytest
+
+from repro.graph import Graph
+from repro.core import (
+    MatchStats,
+    SymmetryBreaker,
+    automorphisms,
+    equivalence_groups,
+    gk_conditions,
+    initial_candidates,
+    select_root,
+)
+
+
+class TestInitialCandidates:
+    def test_label_filter(self):
+        data = Graph(3, [(0, 1), (1, 2)], labels=["A", "B", "A"])
+        query = Graph(2, [(0, 1)], labels=["A", "B"])
+        assert set(initial_candidates(query, data, 0)) == {0, 2}
+
+    def test_degree_filter(self):
+        data = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        query = Graph(3, [(0, 1), (0, 2)])
+        # query vertex 0 has degree 2 -> only the hub qualifies
+        assert initial_candidates(query, data, 0) == [0]
+
+    def test_nlc_filter(self):
+        # both data vertices have degree 2, but only one sees labels {B, C}
+        data = Graph(
+            5, [(0, 1), (0, 2), (3, 1), (3, 4)], labels=["A", "B", "C", "A", "B"]
+        )
+        query = Graph(3, [(0, 1), (0, 2)], labels=["A", "B", "C"])
+        assert initial_candidates(query, data, 0) == [0]
+
+    def test_filters_can_be_disabled(self):
+        data = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        query = Graph(3, [(0, 1), (0, 2)])
+        relaxed = initial_candidates(
+            query, data, 0, use_degree_filter=False, use_nlc_filter=False
+        )
+        assert set(relaxed) == {0, 1, 2, 3}
+
+    def test_stats_populated(self):
+        data = Graph(3, [(0, 1), (1, 2)], labels=["A", "B", "A"])
+        query = Graph(2, [(0, 1)], labels=["A", "B"])
+        stats = MatchStats()
+        initial_candidates(query, data, 0, stats)
+        assert stats.candidates_initial > 0
+
+
+class TestSelectRoot:
+    def test_figure1_root_is_u1(self, paper_query, paper_data):
+        root, pivots = select_root(paper_query, paper_data)
+        assert root == 0  # u1: cost 1 is the minimum (Section 2.2)
+        assert set(pivots) == {1, 2}  # pivots v1 and v2
+
+    def test_min_cost_rule(self):
+        # label A appears once, label B three times; both have degree 1
+        data = Graph(4, [(0, 1), (0, 2), (0, 3)], labels=["A", "B", "B", "B"])
+        query = Graph(2, [(0, 1)], labels=["A", "B"])
+        root, pivots = select_root(query, data)
+        assert root == 0
+        assert pivots == [0]
+
+    def test_unsatisfiable_vertex_short_circuits(self):
+        data = Graph(2, [(0, 1)], labels=["A", "B"])
+        query = Graph(2, [(0, 1)], labels=["A", "Z"])
+        root, pivots = select_root(query, data)
+        assert pivots == []
+
+
+class TestEquivalenceGroups:
+    def test_triangle_single_group(self, triangle):
+        groups = equivalence_groups(triangle)
+        assert groups == [(0, 1, 2)]
+
+    def test_labels_split_groups(self):
+        labeled_triangle = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["A", "A", "B"])
+        assert equivalence_groups(labeled_triangle) == [(0, 1)]
+
+    def test_star_tips_equivalent(self):
+        star = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert equivalence_groups(star) == [(1, 2, 3)]
+
+    def test_path_has_end_symmetry(self):
+        path = Graph(3, [(0, 1), (1, 2)])
+        assert equivalence_groups(path) == [(0, 2)]
+
+    def test_asymmetric_query_no_groups(self):
+        # a triangle with a tail: only the two non-tail triangle vertices
+        tailed = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert equivalence_groups(tailed) == [(0, 1)]
+
+
+class TestAutomorphisms:
+    def test_triangle_group_size(self, triangle):
+        assert len(automorphisms(triangle)) == 6
+
+    def test_square_group_size(self):
+        square = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert len(automorphisms(square)) == 8  # dihedral D4
+
+    def test_house_reflection_only(self):
+        house = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)])
+        auts = automorphisms(house)
+        assert len(auts) == 2
+        assert (1, 0, 3, 2, 4) in auts  # the reflection
+
+    def test_labels_restrict_group(self):
+        labeled = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["A", "A", "B"])
+        assert len(automorphisms(labeled)) == 2
+
+    def test_path_end_swap(self):
+        path = Graph(3, [(0, 1), (1, 2)])
+        assert set(automorphisms(path)) == {(0, 1, 2), (2, 1, 0)}
+
+    def test_identity_always_present(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)], labels=["A", "B", "C", "D"])
+        assert automorphisms(g) == [(0, 1, 2, 3)]
+
+
+class TestGKConditions:
+    def test_empty_group(self):
+        assert gk_conditions([]) == []
+
+    def test_trivial_group_no_conditions(self):
+        assert gk_conditions([(0, 1, 2)]) == []
+
+    def test_suppression_factor_matches_group_order(self):
+        # For each query the number of embeddings admitted in a complete
+        # graph shrinks by exactly |Aut|.
+        import itertools
+
+        for edges, n in [
+            ([(0, 1), (1, 2), (0, 2)], 3),            # triangle
+            ([(0, 1), (1, 2), (2, 3), (3, 0)], 4),     # square
+            ([(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)], 5),  # house
+        ]:
+            query = Graph(n, edges)
+            aut = automorphisms(query)
+            conditions = gk_conditions(aut)
+
+            def admitted(perm):
+                return all(perm[lo] < perm[hi] for lo, hi in conditions)
+
+            total = 0
+            kept = 0
+            for perm in itertools.permutations(range(n)):
+                total += 1
+                if admitted(perm):
+                    kept += 1
+            assert kept * len(aut) == total
+
+
+class TestSymmetryBreaker:
+    def test_triangle_automorphism_count(self, triangle):
+        assert SymmetryBreaker(triangle).automorphism_count() == 6
+
+    def test_disabled_breaker_admits_everything(self, triangle):
+        breaker = SymmetryBreaker(triangle, enabled=False)
+        assert breaker.automorphism_count() == 1
+        assert breaker.admissible(1, 0, [5, -1, -1])
+
+    def test_ordering_constraint(self, triangle):
+        breaker = SymmetryBreaker(triangle)
+        # vertex 0 mapped to 5; vertex 1 must map above 5
+        assert breaker.admissible(1, 7, [5, -1, -1])
+        assert not breaker.admissible(1, 3, [5, -1, -1])
+
+    def test_reverse_direction_constraint(self, triangle):
+        breaker = SymmetryBreaker(triangle)
+        # vertex 2 already mapped to 4; vertex 0 must map below 4
+        assert breaker.admissible(0, 2, [-1, -1, 4])
+        assert not breaker.admissible(0, 9, [-1, -1, 4])
+
+    def test_match_counts_relate_by_automorphism_factor(self, triangle):
+        from repro import match
+        from repro.graph import power_law
+
+        data = power_law(60, 4, seed=13)
+        broken = match(triangle, data)
+        full = match(triangle, data, break_automorphisms=False)
+        assert len(full) == 6 * len(broken)
+        # every unbroken embedding is a permutation of a broken one
+        assert {frozenset(e) for e in full} == {frozenset(e) for e in broken}
+
+    def test_each_vertex_set_listed_once(self, triangle):
+        from repro import match
+        from repro.graph import power_law
+
+        data = power_law(60, 4, seed=13)
+        broken = match(triangle, data)
+        assert len({frozenset(e) for e in broken}) == len(broken)

@@ -1,0 +1,55 @@
+"""Tests for the MatchStats instrumentation."""
+
+import pytest
+
+from repro.core import MatchStats
+from repro.core.stats import BYTES_PER_CANDIDATE_EDGE
+
+
+class TestIndexSize:
+    def test_index_bytes(self):
+        stats = MatchStats()
+        stats.te_candidate_edges = 10
+        stats.nte_candidate_edges = 5
+        assert stats.index_bytes == 15 * BYTES_PER_CANDIDATE_EDGE
+
+    def test_theoretical_bytes(self):
+        stats = MatchStats()
+        assert stats.theoretical_bytes(6, 1000) == 6 * 1000 * 8
+
+    def test_space_saved_percent(self):
+        stats = MatchStats()
+        stats.te_candidate_edges = 300
+        stats.nte_candidate_edges = 200
+        # theoretical: 1000 edges -> 500 stored -> 50% saved
+        assert stats.space_saved_percent(1, 1000) == pytest.approx(50.0)
+
+    def test_space_saved_on_empty_graph(self):
+        assert MatchStats().space_saved_percent(0, 0) == 0.0
+
+
+class TestPhases:
+    def test_add_phase_accumulates(self):
+        stats = MatchStats()
+        stats.add_phase("filter", 1.0)
+        stats.add_phase("filter", 0.5)
+        assert stats.phase_seconds["filter"] == pytest.approx(1.5)
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_phases(self):
+        a = MatchStats()
+        a.recursive_calls = 5
+        a.embeddings_found = 2
+        a.add_phase("enumerate", 1.0)
+        b = MatchStats()
+        b.recursive_calls = 7
+        b.removed_by_nlc = 3
+        b.add_phase("enumerate", 2.0)
+        b.add_phase("filter", 0.5)
+        a.merge(b)
+        assert a.recursive_calls == 12
+        assert a.embeddings_found == 2
+        assert a.removed_by_nlc == 3
+        assert a.phase_seconds["enumerate"] == pytest.approx(3.0)
+        assert a.phase_seconds["filter"] == pytest.approx(0.5)

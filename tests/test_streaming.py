@@ -1,0 +1,179 @@
+"""Tests for the streaming subsystem: DynamicGraph and ContinuousQuery.
+
+The exactness oracle: after every update, the maintained match set must
+equal a full re-enumeration on the current snapshot.
+"""
+
+import random
+
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.streaming import ContinuousQuery, DynamicGraph, UpdateDelta
+
+
+def full_matches(query, dynamic, break_automorphisms=True):
+    snapshot = dynamic.snapshot()
+    return set(
+        CECIMatcher(
+            query, snapshot, break_automorphisms=break_automorphisms
+        ).match()
+    )
+
+
+class TestDynamicGraph:
+    def test_insert_and_delete(self):
+        g = DynamicGraph(3)
+        assert g.insert_edge(0, 1)
+        assert not g.insert_edge(1, 0)  # duplicate
+        assert g.num_edges == 1
+        assert g.delete_edge(0, 1)
+        assert not g.delete_edge(0, 1)
+        assert g.num_edges == 0
+
+    def test_self_loop_rejected(self):
+        g = DynamicGraph(2)
+        with pytest.raises(ValueError):
+            g.insert_edge(1, 1)
+
+    def test_unknown_vertex_rejected(self):
+        g = DynamicGraph(2)
+        with pytest.raises(ValueError):
+            g.insert_edge(0, 9)
+
+    def test_add_vertex_with_labels(self):
+        g = DynamicGraph()
+        v = g.add_vertex(labels={"A", "B"})
+        assert g.labels_of(v) == frozenset({"A", "B"})
+
+    def test_set_labels(self):
+        g = DynamicGraph(1)
+        g.set_labels(0, "X")
+        assert g.labels_of(0) == frozenset({"X"})
+        with pytest.raises(ValueError):
+            g.set_labels(0, set())
+
+    def test_snapshot_caching_and_invalidating(self):
+        g = DynamicGraph(3, [(0, 1)])
+        first = g.snapshot()
+        assert g.snapshot() is first
+        g.insert_edge(1, 2)
+        assert g.snapshot() is not first
+        assert g.snapshot().num_edges == 2
+
+    def test_from_graph(self):
+        base = Graph(3, [(0, 1), (1, 2)], labels=["A", "B", "C"])
+        g = DynamicGraph.from_graph(base)
+        assert g.snapshot() == base
+
+    def test_neighbors_and_degree(self):
+        g = DynamicGraph(3, [(0, 1), (0, 2)])
+        assert g.neighbors(0) == {1, 2}
+        assert g.degree(0) == 2
+
+    def test_labels_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DynamicGraph(2, labels=["A"])
+
+
+class TestContinuousQuery:
+    def test_insert_creates_triangle(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2)])
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g)
+        assert cq.current_matches == set()
+        delta = cq.insert_edge(0, 2)
+        assert delta.inserted
+        assert len(delta.created) == 1
+        assert cq.current_matches == full_matches(triangle, g)
+
+    def test_delete_destroys_triangle(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2), (0, 2)])
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g)
+        assert len(cq.current_matches) == 1
+        delta = cq.delete_edge(1, 2)
+        assert not delta.inserted
+        assert len(delta.destroyed) == 1
+        assert cq.current_matches == set()
+
+    def test_duplicate_insert_is_noop(self):
+        g = DynamicGraph(3, [(0, 1)])
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g)
+        delta = cq.insert_edge(0, 1)
+        assert delta.created == () and delta.destroyed == ()
+
+    def test_delete_absent_edge_is_noop(self):
+        g = DynamicGraph(3, [(0, 1)])
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g)
+        delta = cq.delete_edge(1, 2)
+        assert delta.created == () and delta.destroyed == ()
+
+    def test_labeled_stream(self):
+        g = DynamicGraph(4, [(0, 1)], labels=["A", "B", "A", "B"])
+        path = Graph(3, [(0, 1), (1, 2)], labels=["A", "B", "A"])
+        cq = ContinuousQuery(path, g)
+        delta = cq.insert_edge(1, 2)
+        assert (0, 1, 2) in delta.created
+        assert cq.current_matches == full_matches(path, g)
+
+    def test_track_matches_off(self):
+        g = DynamicGraph(3, [(0, 1), (1, 2)])
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g, track_matches=False)
+        delta = cq.insert_edge(0, 2)
+        assert len(delta.created) == 1
+        with pytest.raises(RuntimeError):
+            cq.current_matches
+
+    def test_disconnected_query_rejected(self):
+        g = DynamicGraph(3)
+        with pytest.raises(ValueError):
+            ContinuousQuery(Graph(4, [(0, 1), (2, 3)]), g)
+
+    def test_repr(self):
+        delta = UpdateDelta((1, 2), True, ((0, 1, 2),), ())
+        assert "insert" in repr(delta)
+        assert "+1" in repr(delta)
+
+    @pytest.mark.parametrize("break_autos", [True, False])
+    def test_random_stream_matches_full_reenumeration(self, break_autos):
+        rng = random.Random(99)
+        n = 12
+        g = DynamicGraph(n)
+        query = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])  # square
+        cq = ContinuousQuery(query, g, break_automorphisms=break_autos)
+        possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        for step in range(120):
+            a, b = rng.choice(possible)
+            if g.has_edge(a, b) and rng.random() < 0.5:
+                cq.delete_edge(a, b)
+            else:
+                cq.insert_edge(a, b)
+            if step % 10 == 0:
+                assert cq.current_matches == full_matches(
+                    query, g, break_autos
+                ), f"divergence at step {step}"
+        assert cq.current_matches == full_matches(query, g, break_autos)
+
+    def test_deltas_are_disjoint_and_consistent(self):
+        rng = random.Random(7)
+        g = DynamicGraph(10)
+        triangle = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        cq = ContinuousQuery(triangle, g)
+        running = set()
+        for _ in range(80):
+            a, b = rng.randrange(10), rng.randrange(10)
+            if a == b:
+                continue
+            if g.has_edge(a, b):
+                delta = cq.delete_edge(a, b)
+                assert set(delta.destroyed) <= running
+                running -= set(delta.destroyed)
+            else:
+                delta = cq.insert_edge(a, b)
+                assert not (set(delta.created) & running)
+                running |= set(delta.created)
+        assert running == cq.current_matches
