@@ -20,7 +20,12 @@ Subpackages
     Ullmann, VF2, QuickSI, TurboIso(+Boosted), CFLMatch, PsgL, DualSim
     and the bare-graph listing baseline.
 ``repro.parallel``
-    ST / CGD / FGD scheduling, thread executor, simulated-time executor.
+    ST / CGD / FGD scheduling, crash-safe thread executor,
+    simulated-time executor.
+``repro.resilience``
+    Enumeration budgets (:class:`Budget` / :class:`PartialResult`),
+    seeded fault injection (:class:`FaultPlan`), retry/recovery
+    bookkeeping shared by the parallel and distributed runtimes.
 ``repro.distributed``
     Simulated multi-machine runtime (replicated vs shared CSR storage,
     pivot partitioning, work stealing).
@@ -43,17 +48,21 @@ from .core import (
     match,
 )
 from .graph import Graph, GraphBuilder
+from .resilience import Budget, FaultPlan, PartialResult
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Budget",
     "CECI",
     "CECIMatcher",
     "Embedding",
     "Enumerator",
+    "FaultPlan",
     "Graph",
     "GraphBuilder",
     "MatchStats",
+    "PartialResult",
     "QueryTree",
     "SymmetryBreaker",
     "WorkUnit",

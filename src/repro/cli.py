@@ -3,7 +3,9 @@
 ::
 
     python -m repro match    QUERY DATA [--limit N] [--order bfs] [--all-autos]
-    python -m repro count    QUERY DATA [--limit N]
+                                        [--timeout S] [--max-calls N]
+                                        [--workers K] [--inject-faults SEED]
+    python -m repro count    QUERY DATA [--limit N] [...same flags]
     python -m repro index    QUERY DATA OUT.ceci      # build + persist CECI
     python -m repro stats    QUERY DATA               # pipeline statistics
     python -m repro generate KIND OUT [--vertices N] [--edges-per-vertex M]
@@ -12,6 +14,14 @@
 ``QUERY`` and ``DATA`` are graph files; format chosen by extension:
 ``.graph`` (labeled t/v/e rows), ``.csr`` (binary CSR), anything else is
 read as a SNAP edge list.
+
+``--timeout`` / ``--max-calls`` cap the run with a
+:class:`~repro.resilience.budget.Budget`; a truncated run prints a
+``# truncated: <axis>`` line on stderr instead of hanging.
+``--workers K`` (K > 1) enumerates with the crash-safe thread executor,
+and ``--inject-faults SEED`` feeds it a seeded chaos
+:class:`~repro.resilience.faults.FaultPlan` — the embedding output must
+survive the injected crashes unchanged.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from typing import List, Optional
 
 from .core import CECIMatcher
 from .core.persist import save_ceci
+from .resilience import Budget, FaultPlan
 from .graph import (
     Graph,
     erdos_renyi,
@@ -47,19 +58,65 @@ def _load_graph(path: str) -> Graph:
     return load_edge_list(path)
 
 
+def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
+    if getattr(args, "timeout", None) is None and (
+        getattr(args, "max_calls", None) is None
+    ):
+        return None
+    return Budget(
+        deadline_seconds=args.timeout, max_calls=args.max_calls
+    )
+
+
 def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
     return CECIMatcher(
         _load_graph(args.query),
         _load_graph(args.data),
         order_strategy=args.order,
         break_automorphisms=not args.all_autos,
+        budget=_budget_from(args),
     )
+
+
+def _run_embeddings(args, matcher):
+    """Shared match/count execution: returns (embeddings, truncated,
+    stop_reason), going through the crash-safe thread executor when
+    ``--workers`` asks for one."""
+    workers = getattr(args, "workers", None) or 1
+    if workers > 1:
+        from .parallel import parallel_match
+
+        if matcher.budget is not None:
+            print(
+                "# note: --timeout/--max-calls apply to the sequential "
+                "path; ignored under --workers",
+                file=sys.stderr,
+            )
+        plan = None
+        if args.inject_faults is not None:
+            plan = FaultPlan.chaos(args.inject_faults, num_workers=workers)
+        embeddings, reports = parallel_match(
+            matcher, workers=workers, limit=args.limit, fault_plan=plan
+        )
+        for report in reports:
+            matcher.stats.merge(report.stats)
+        crashed = sum(1 for r in reports if r.crashed)
+        if crashed:
+            print(
+                f"# recovered from {crashed} injected worker crash(es): "
+                f"{matcher.stats.retries} retries, "
+                f"{matcher.stats.reassignments} reassignments",
+                file=sys.stderr,
+            )
+        return embeddings, False, None
+    result = matcher.run(limit=args.limit)
+    return result.embeddings, result.truncated, result.stop_reason
 
 
 def _cmd_match(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
     started = time.perf_counter()
-    embeddings = matcher.match(limit=args.limit)
+    embeddings, truncated, stop_reason = _run_embeddings(args, matcher)
     elapsed = time.perf_counter() - started
     for embedding in embeddings:
         print(" ".join(str(v) for v in embedding))
@@ -68,16 +125,20 @@ def _cmd_match(args: argparse.Namespace) -> int:
         f"({matcher.stats.recursive_calls} recursive calls)",
         file=sys.stderr,
     )
+    if truncated:
+        print(f"# truncated: {stop_reason}", file=sys.stderr)
     return 0
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
     started = time.perf_counter()
-    count = matcher.count(limit=args.limit)
+    embeddings, truncated, stop_reason = _run_embeddings(args, matcher)
     elapsed = time.perf_counter() - started
-    print(count)
+    print(len(embeddings))
     print(f"# counted in {elapsed:.3f}s", file=sys.stderr)
+    if truncated:
+        print(f"# truncated: {stop_reason}", file=sys.stderr)
     return 0
 
 
@@ -96,12 +157,15 @@ def _cmd_index(args: argparse.Namespace) -> int:
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
-    matcher.match(limit=args.limit)
+    result = matcher.run(limit=args.limit)
     stats = matcher.stats
     query = matcher.query
     data = matcher.data
     print(json.dumps({
         "embeddings": stats.embeddings_found,
+        "truncated": result.truncated,
+        "stop_reason": result.stop_reason,
+        "budget_stops": stats.budget_stops,
         "recursive_calls": stats.recursive_calls,
         "intersections": stats.intersections,
         "edge_verifications": stats.edge_verifications,
@@ -162,6 +226,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="matching-order strategy")
         p.add_argument("--all-autos", action="store_true",
                        help="list every automorphism (no symmetry breaking)")
+        p.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="wall-clock budget in seconds; the run returns "
+                            "a flagged partial answer instead of hanging")
+        p.add_argument("--max-calls", type=int, default=None, metavar="N",
+                       help="recursive-call budget (the paper's "
+                            "search-space proxy)")
+        p.add_argument("--workers", type=int, default=None, metavar="K",
+                       help="enumerate with K crash-safe worker threads")
+        p.add_argument("--inject-faults", type=int, default=None,
+                       metavar="SEED",
+                       help="inject a seeded chaos FaultPlan into the "
+                            "--workers executor (requires --workers >= 2)")
 
     p_match = sub.add_parser("match", help="list embeddings")
     add_match_args(p_match)
@@ -193,7 +269,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point (``python -m repro``)."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "inject_faults", None) is not None and (
+        getattr(args, "workers", None) or 1
+    ) < 2:
+        parser.error("--inject-faults requires --workers >= 2")
+    if getattr(args, "timeout", None) is not None and args.timeout <= 0:
+        parser.error("--timeout must be positive")
+    if getattr(args, "max_calls", None) is not None and args.max_calls <= 0:
+        parser.error("--max-calls must be positive")
+    if getattr(args, "workers", None) is not None and args.workers < 1:
+        parser.error("--workers must be >= 1")
     return args.fn(args)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from ..resilience.budget import Budget, BudgetExhausted, BudgetTracker
 from .automorphism import SymmetryBreaker
 from .ceci import CECI, intersect_sorted
 from .stats import MatchStats
@@ -54,6 +55,15 @@ class Enumerator:
         the data graph — the Section 4.1 baseline.
     stats:
         Counter sink; a fresh one is created when omitted.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget`; when any of
+        its axes trips, enumeration stops early, ``truncated`` is set
+        and ``stop_reason`` names the axis.  Entry points still return
+        the embeddings found so far — never an exception.
+    tracker:
+        A pre-started :class:`BudgetTracker` to enforce instead of
+        ``budget`` (the matcher passes one whose clock already covers
+        index construction).
     """
 
     def __init__(
@@ -62,30 +72,54 @@ class Enumerator:
         symmetry: Optional[SymmetryBreaker] = None,
         use_intersection: bool = True,
         stats: Optional[MatchStats] = None,
+        budget: Optional[Budget] = None,
+        tracker: Optional[BudgetTracker] = None,
     ) -> None:
         self.ceci = ceci
         self.tree = ceci.tree
         self.symmetry = symmetry or SymmetryBreaker(ceci.tree.query)
         self.use_intersection = use_intersection
         self.stats = stats if stats is not None else MatchStats()
+        if tracker is None and budget is not None and not budget.unlimited:
+            tracker = budget.tracker()
+        self._tracker = tracker
+        #: True once a budget axis has stopped an enumeration early.
+        self.truncated = False
+        #: The axis that tripped ("deadline", "max_calls", ...), if any.
+        self.stop_reason: Optional[str] = None
+
+    def _note_budget_stop(self, stop: BudgetExhausted) -> None:
+        self.truncated = True
+        self.stop_reason = stop.reason
+        self.stats.budget_stops += 1
 
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def embeddings(self, limit: Optional[int] = None) -> Iterator[Embedding]:
         """Yield embeddings cluster by cluster (pivot order)."""
+        if self._tracker is not None:
+            self._tracker.start()
         remaining = [limit]
-        for pivot in list(self.ceci.pivots):
-            yield from self._from_prefix((pivot,), remaining)
-            if remaining[0] is not None and remaining[0] <= 0:
-                return
+        try:
+            for pivot in list(self.ceci.pivots):
+                yield from self._from_prefix((pivot,), remaining)
+                if remaining[0] is not None and remaining[0] <= 0:
+                    return
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
 
     def embeddings_from_unit(
         self, prefix: Sequence[int], limit: Optional[int] = None
     ) -> Iterator[Embedding]:
         """Yield embeddings of one work unit (partial-embedding prefix
         along the matching order) — the FGD execution path."""
-        yield from self._from_prefix(tuple(prefix), [limit])
+        if self._tracker is not None:
+            self._tracker.start()
+        try:
+            yield from self._from_prefix(tuple(prefix), [limit])
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
 
     def count(self, limit: Optional[int] = None) -> int:
         """Number of embeddings (up to ``limit``)."""
@@ -101,7 +135,8 @@ class Enumerator:
     # the matcher facade and the benchmarks use.
     # ------------------------------------------------------------------
     def collect(self, limit: Optional[int] = None) -> List[Embedding]:
-        """All embeddings (or the first ``limit``) as a list."""
+        """All embeddings (or the first ``limit``) as a list.  Under a
+        budget the list may be partial — check ``truncated``."""
         out: List[Embedding] = []
         sink = out.append
         order = self.tree.order
@@ -110,22 +145,31 @@ class Enumerator:
         mapping = [-1] * n
         used: set = set()
         single = len(order) == 1
-        for pivot in self.ceci.pivots:
-            if not self.symmetry.admissible(root, pivot, mapping):
-                continue
-            if single:
-                self.stats.recursive_calls += 1
-                self.stats.embeddings_found += 1
-                sink((pivot,))
-            else:
-                mapping[root] = pivot
-                used.add(pivot)
-                budget = None if limit is None else limit - len(out)
-                self._collect(1, mapping, used, sink, budget)
-                used.discard(pivot)
-                mapping[root] = -1
-            if limit is not None and len(out) >= limit:
-                break
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.start()
+        try:
+            for pivot in self.ceci.pivots:
+                if not self.symmetry.admissible(root, pivot, mapping):
+                    continue
+                if single:
+                    self.stats.recursive_calls += 1
+                    if tracker is not None:
+                        tracker.charge_call()
+                        tracker.charge_embedding(n)
+                    self.stats.embeddings_found += 1
+                    sink((pivot,))
+                else:
+                    mapping[root] = pivot
+                    used.add(pivot)
+                    budget = None if limit is None else limit - len(out)
+                    self._collect(1, mapping, used, sink, budget)
+                    used.discard(pivot)
+                    mapping[root] = -1
+                if limit is not None and len(out) >= limit:
+                    break
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
         return out[:limit] if limit is not None else out
 
     def collect_from_unit(
@@ -133,7 +177,12 @@ class Enumerator:
     ) -> List[Embedding]:
         """List-returning analog of :meth:`embeddings_from_unit`."""
         out: List[Embedding] = []
-        self._collect_prefix(tuple(prefix), out.append, limit, 0)
+        if self._tracker is not None:
+            self._tracker.start()
+        try:
+            self._collect_prefix(tuple(prefix), out.append, limit, 0)
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
         return out
 
     def _collect_prefix(self, prefix, sink, limit, already) -> bool:
@@ -154,6 +203,9 @@ class Enumerator:
         if len(prefix) == len(order):
             # The unit already is a complete embedding.
             self.stats.recursive_calls += 1
+            if self._tracker is not None:
+                self._tracker.charge_call()
+                self._tracker.charge_embedding(len(mapping))
             self.stats.embeddings_found += 1
             sink(tuple(mapping))
             return budget is None or budget - 1 > 0
@@ -164,26 +216,37 @@ class Enumerator:
         """Recursive collector; ``budget`` is remaining embeddings or
         None for unlimited.  Returns the updated budget."""
         self.stats.recursive_calls += 1
+        tracker = self._tracker
+        if tracker is not None:
+            tracker.charge_call()
         order = self.tree.order
         u = order[depth]
         symmetry = self.symmetry
         if depth + 1 == len(order):
             # Leaf level: every surviving candidate closes one embedding;
-            # append in bulk instead of recursing per candidate.
+            # append in bulk instead of recursing per candidate.  The
+            # try/finally keeps the counters exact when a budget axis
+            # trips mid-loop.
             emitted = 0
-            for v in self.matching_nodes(u, mapping):
-                if v in used:
-                    continue
-                if not symmetry.admissible(u, v, mapping):
-                    continue
-                self.stats.recursive_calls += 1
-                mapping[u] = v
-                sink(tuple(mapping))
-                emitted += 1
-                if budget is not None and emitted >= budget:
-                    break
-            mapping[u] = -1
-            self.stats.embeddings_found += emitted
+            n = len(mapping)
+            try:
+                for v in self.matching_nodes(u, mapping):
+                    if v in used:
+                        continue
+                    if not symmetry.admissible(u, v, mapping):
+                        continue
+                    self.stats.recursive_calls += 1
+                    if tracker is not None:
+                        tracker.charge_call()
+                        tracker.charge_embedding(n)
+                    mapping[u] = v
+                    sink(tuple(mapping))
+                    emitted += 1
+                    if budget is not None and emitted >= budget:
+                        break
+            finally:
+                mapping[u] = -1
+                self.stats.embeddings_found += emitted
             return None if budget is None else budget - emitted
         for v in self.matching_nodes(u, mapping):
             if v in used:
@@ -230,8 +293,12 @@ class Enumerator:
         remaining: List[Optional[int]],
     ) -> Iterator[Embedding]:
         self.stats.recursive_calls += 1
+        if self._tracker is not None:
+            self._tracker.charge_call()
         order = self.tree.order
         if depth == len(order):
+            if self._tracker is not None:
+                self._tracker.charge_embedding(len(mapping))
             self.stats.embeddings_found += 1
             if remaining[0] is not None:
                 remaining[0] -= 1

@@ -14,6 +14,12 @@ import time
 from typing import Iterator, List, Optional, Sequence
 
 from ..graph import Graph
+from ..resilience.budget import (
+    Budget,
+    BudgetExhausted,
+    BudgetTracker,
+    PartialResult,
+)
 from .automorphism import SymmetryBreaker
 from .ceci import CECI
 from .clusters import WorkUnit, clusters_of, decompose_extreme_clusters
@@ -40,7 +46,10 @@ class CECIMatcher:
       Algorithm 1 filters;
     * ``use_refinement`` — Algorithm 2 (off = only BFS filtering);
     * ``use_intersection`` — Section 4 intersection-based enumeration
-      (off = per-edge verification).
+      (off = per-edge verification);
+    * ``budget`` — optional :class:`~repro.resilience.budget.Budget`
+      capping the run (deadline / calls / embeddings / memory); use
+      :meth:`run` to get the explicit ``truncated`` flag.
     """
 
     def __init__(
@@ -54,6 +63,7 @@ class CECIMatcher:
         use_cascade: bool = True,
         use_refinement: bool = True,
         use_intersection: bool = True,
+        budget: Optional[Budget] = None,
     ) -> None:
         if query.num_vertices == 0:
             raise ValueError("query graph is empty")
@@ -71,6 +81,7 @@ class CECIMatcher:
         )
         self.stats = MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self.budget = budget
         self._ceci: Optional[CECI] = None
         self._tree: Optional[QueryTree] = None
 
@@ -123,13 +134,19 @@ class CECIMatcher:
         assert self._tree is not None
         return self._tree
 
-    def enumerator(self) -> Enumerator:
-        """A fresh enumerator over the built index, sharing ``stats``."""
+    def enumerator(
+        self, tracker: Optional[BudgetTracker] = None
+    ) -> Enumerator:
+        """A fresh enumerator over the built index, sharing ``stats``.
+        ``tracker`` (a pre-started budget clock) takes precedence over
+        the matcher's own ``budget``."""
         return Enumerator(
             self.build(),
             symmetry=self.symmetry,
             use_intersection=self.use_intersection,
             stats=self.stats,
+            budget=self.budget,
+            tracker=tracker,
         )
 
     # ------------------------------------------------------------------
@@ -158,6 +175,49 @@ class CECIMatcher:
         """Embedding count (fast path; embeddings are materialized in
         bulk, then discarded)."""
         return len(self.match(limit))
+
+    def run(self, limit: Optional[int] = None) -> PartialResult:
+        """Match under the configured ``budget`` and say so explicitly.
+
+        The budget clock starts *before* index construction, so a
+        deadline covers filtering and refinement too; a run that cannot
+        finish returns the embeddings found so far with
+        ``truncated=True`` and ``stop_reason`` naming the axis —
+        it never hangs and never raises for running out of budget.
+        """
+        tracker: Optional[BudgetTracker] = None
+        if self.budget is not None and not self.budget.unlimited:
+            tracker = self.budget.tracker().start()
+        try:
+            self.build()
+            if tracker is not None:
+                tracker.check_deadline()
+        except BudgetExhausted as stop:
+            self.stats.budget_stops += 1
+            return PartialResult(
+                [],
+                truncated=True,
+                exhausted=False,
+                stop_reason=stop.reason,
+                stats=self.stats,
+            )
+        enumerator = self.enumerator(tracker=tracker)
+        started = time.perf_counter()
+        try:
+            embeddings = enumerator.collect(limit)
+        finally:
+            self.stats.add_phase("enumerate", time.perf_counter() - started)
+        truncated = enumerator.truncated
+        exhausted = not truncated and (
+            limit is None or len(embeddings) < limit
+        )
+        return PartialResult(
+            embeddings,
+            truncated=truncated,
+            exhausted=exhausted,
+            stop_reason=enumerator.stop_reason if truncated else None,
+            stats=self.stats,
+        )
 
     # ------------------------------------------------------------------
     # Parallel work

@@ -42,6 +42,22 @@ class MatchStats:
     te_candidate_edges: int = 0
     nte_candidate_edges: int = 0
 
+    # --- resilience (budgets, fault recovery) ---------------------------
+    #: Enumerations stopped early by a Budget axis.
+    budget_stops: int = 0
+    #: Work pieces (units/clusters) re-run after a failure.
+    retries: int = 0
+    #: Orphaned work pieces handed to a surviving executor.
+    reassignments: int = 0
+    #: Worker threads lost to crashes.
+    worker_crashes: int = 0
+    #: Simulated machines lost to crashes.
+    machine_crashes: int = 0
+    #: Coordinator messages dropped (and retransmitted).
+    messages_dropped: int = 0
+    #: Work-steal operations (distributed enumeration phase).
+    steals: int = 0
+
     # --- phase timings (seconds) -----------------------------------------
     phase_seconds: Dict[str, float] = field(default_factory=dict)
 
@@ -82,5 +98,12 @@ class MatchStats:
         self.removed_by_refinement += other.removed_by_refinement
         self.te_candidate_edges += other.te_candidate_edges
         self.nte_candidate_edges += other.nte_candidate_edges
+        self.budget_stops += other.budget_stops
+        self.retries += other.retries
+        self.reassignments += other.reassignments
+        self.worker_crashes += other.worker_crashes
+        self.machine_crashes += other.machine_crashes
+        self.messages_dropped += other.messages_dropped
+        self.steals += other.steals
         for phase, seconds in other.phase_seconds.items():
             self.add_phase(phase, seconds)

@@ -32,8 +32,14 @@ class MachineReport:
     steals: int = 0
     #: Number of embeddings this machine reported.
     embeddings: int = 0
-    #: Simulated time this machine went idle.
+    #: Simulated time this machine went idle (or died).
     finish_time: float = 0.0
+
+    # --- resilience ----------------------------------------------------
+    #: True once a fault plan killed this machine mid-enumeration.
+    crashed: bool = False
+    #: Orphaned clusters of crashed machines this machine adopted.
+    reassigned: int = 0
 
     @property
     def construction_total(self) -> float:

@@ -1,0 +1,47 @@
+"""Resilience layer: enumeration budgets, deterministic fault injection,
+and recovery/retry accounting for the parallel and distributed runtimes.
+
+The three modules map onto the three failure surfaces of a production
+matcher:
+
+* :mod:`repro.resilience.budget` — a pathological query must return a
+  flagged partial answer, not hang (``Budget`` / ``PartialResult``);
+* :mod:`repro.resilience.faults` — machine and worker failures are
+  described up front by a seeded ``FaultPlan`` so recovery is testable
+  and replayable;
+* :mod:`repro.resilience.recovery` — lost work is requeued with bounded
+  retries and every incident is logged; results are exact or loudly
+  incomplete, never silently short.
+"""
+
+from .budget import (
+    Budget,
+    BudgetExhausted,
+    BudgetTracker,
+    PartialResult,
+    embedding_bytes,
+)
+from .faults import FaultPlan, InjectedCrash, InjectedUnitError
+from .recovery import (
+    FailureReport,
+    ParallelExecutionError,
+    RecoveryEvent,
+    RecoveryLog,
+    RetryPolicy,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "BudgetTracker",
+    "FailureReport",
+    "FaultPlan",
+    "InjectedCrash",
+    "InjectedUnitError",
+    "ParallelExecutionError",
+    "PartialResult",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RetryPolicy",
+    "embedding_bytes",
+]

@@ -1,0 +1,194 @@
+"""Enumeration budgets — the "partial answer under a deadline" mode.
+
+A production matcher facing adversarial queries (the regime STwig-style
+systems on billion-node graphs explicitly guard against) cannot let one
+pathological query run unbounded.  A :class:`Budget` caps a single match
+run along four axes:
+
+* ``deadline_seconds`` — wall clock, measured from :meth:`BudgetTracker.
+  start` (the matcher starts the clock *before* index construction, so
+  filtering/refinement time counts against the deadline too);
+* ``max_calls`` — recursive extension calls, the paper's own search-space
+  proxy (Section 6.6), which makes the cap hardware-independent;
+* ``max_embeddings`` — result-set size;
+* ``max_memory_bytes`` — an estimate of the memory held by the collected
+  embeddings (each is a tuple of ``n`` vertex ids).
+
+Exceeding any axis raises :class:`BudgetExhausted` inside the
+enumerator; the public entry points catch it and return what was found
+so far with an explicit ``truncated`` flag — a query under budget never
+hangs and never pretends its partial answer is complete.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+__all__ = [
+    "Budget",
+    "BudgetExhausted",
+    "BudgetTracker",
+    "PartialResult",
+    "embedding_bytes",
+]
+
+#: How many recursive calls pass between two wall-clock reads.  Reading
+#: the clock costs ~100ns; amortizing it over a stride keeps the budget
+#: check out of the hot path's profile while bounding deadline overshoot
+#: to one stride's worth of work.
+DEADLINE_CHECK_STRIDE = 256
+
+#: CPython footprint of one embedding: tuple header (56 bytes on 64-bit
+#: builds) plus one 8-byte slot per matched vertex.  Small-int interning
+#: makes the vertex ids themselves effectively free.
+TUPLE_HEADER_BYTES = 56
+BYTES_PER_SLOT = 8
+
+
+def embedding_bytes(num_vertices: int) -> int:
+    """Estimated bytes held by one collected embedding tuple."""
+    return TUPLE_HEADER_BYTES + BYTES_PER_SLOT * num_vertices
+
+
+class BudgetExhausted(Exception):
+    """Raised inside the enumeration recursion when a budget axis is
+    exceeded.  ``reason`` is one of ``"deadline"``, ``"max_calls"``,
+    ``"max_embeddings"``, ``"max_memory"``."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"enumeration budget exhausted: {reason}")
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource caps for one match run.  ``None`` disables an axis."""
+
+    deadline_seconds: Optional[float] = None
+    max_calls: Optional[int] = None
+    max_embeddings: Optional[int] = None
+    max_memory_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "deadline_seconds",
+            "max_calls",
+            "max_embeddings",
+            "max_memory_bytes",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no axis is capped."""
+        return (
+            self.deadline_seconds is None
+            and self.max_calls is None
+            and self.max_embeddings is None
+            and self.max_memory_bytes is None
+        )
+
+    def tracker(self) -> "BudgetTracker":
+        """A fresh (unstarted) tracker enforcing this budget."""
+        return BudgetTracker(self)
+
+
+class BudgetTracker:
+    """Mutable enforcement state for one run of a :class:`Budget`.
+
+    The enumerator calls :meth:`charge_call` once per recursive
+    extension and :meth:`charge_embedding` once per emitted embedding;
+    either raises :class:`BudgetExhausted` when an axis is exceeded.
+    """
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.calls = 0
+        self.embeddings = 0
+        self.memory_bytes = 0
+        self.started_at: Optional[float] = None
+        self._deadline_at: Optional[float] = None
+        self._stride = DEADLINE_CHECK_STRIDE
+
+    def start(self) -> "BudgetTracker":
+        """Start the wall clock (idempotent); returns self."""
+        if self.started_at is None:
+            self.started_at = time.perf_counter()
+            if self.budget.deadline_seconds is not None:
+                self._deadline_at = (
+                    self.started_at + self.budget.deadline_seconds
+                )
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self.started_at is None:
+            return 0.0
+        return time.perf_counter() - self.started_at
+
+    def deadline_passed(self) -> bool:
+        """True when the wall-clock deadline is already behind us."""
+        return (
+            self._deadline_at is not None
+            and time.perf_counter() >= self._deadline_at
+        )
+
+    def check_deadline(self) -> None:
+        """Unconditional deadline check (used between pipeline phases)."""
+        if self.deadline_passed():
+            raise BudgetExhausted("deadline")
+
+    def charge_call(self) -> None:
+        """Account one recursive extension call."""
+        self.calls += 1
+        limit = self.budget.max_calls
+        if limit is not None and self.calls > limit:
+            raise BudgetExhausted("max_calls")
+        if self._deadline_at is not None and self.calls % self._stride == 0:
+            if time.perf_counter() >= self._deadline_at:
+                raise BudgetExhausted("deadline")
+
+    def charge_embedding(self, num_vertices: int) -> None:
+        """Account one emitted embedding of ``num_vertices`` vertices."""
+        self.embeddings += 1
+        limit = self.budget.max_embeddings
+        if limit is not None and self.embeddings > limit:
+            raise BudgetExhausted("max_embeddings")
+        cap = self.budget.max_memory_bytes
+        if cap is not None:
+            self.memory_bytes += embedding_bytes(num_vertices)
+            if self.memory_bytes > cap:
+                raise BudgetExhausted("max_memory")
+
+
+@dataclass
+class PartialResult:
+    """Outcome of a budgeted match run.
+
+    ``truncated`` is True when a budget axis stopped the search early
+    (``stop_reason`` names the axis); ``exhausted`` is True only when
+    the full search space was explored — a ``limit`` cut is neither
+    truncation nor exhaustion, so both flags are explicit rather than
+    complements of each other.
+    """
+
+    embeddings: List[Tuple[int, ...]]
+    truncated: bool = False
+    exhausted: bool = True
+    stop_reason: Optional[str] = None
+    #: The run's MatchStats (typed loosely to avoid a core<->resilience
+    #: import cycle; always a repro.core.stats.MatchStats in practice).
+    stats: Optional[Any] = None
+
+    def __len__(self) -> int:
+        return len(self.embeddings)
+
+    def __iter__(self):
+        return iter(self.embeddings)
+
+    def __bool__(self) -> bool:
+        return bool(self.embeddings)

@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the parallel and distributed paths.
+
+Testing recovery logic against *real* nondeterministic failures is
+hopeless; instead every failure the runtime can experience is described
+up front by a :class:`FaultPlan` and injected at deterministic points:
+
+* ``machine_crashes[m] = k`` — simulated machine ``m`` dies when it picks
+  up its ``k``-th cluster (0-based), losing its unexplored queue and the
+  in-flight cluster (the distributed event loop is single-threaded, so
+  per-machine positions are fully deterministic);
+* ``worker_crash_picks = {k, ...}`` — the worker thread that starts the
+  ``k``-th unit *globally* (0-based, counted across all workers) dies,
+  losing the in-flight unit.  Real threads race for the queue, so *which*
+  worker dies depends on scheduling, but *that* exactly one worker dies
+  per index is deterministic;
+* ``worker_error_picks = {k, ...}`` — the globally ``k``-th unit attempt
+  raises a unit-level exception (the worker survives and keeps pulling);
+* ``message_drop_rate`` — each coordinator->machine pivot message is
+  dropped with this probability (decided by the seeded RNG) and must be
+  retransmitted at extra communication cost;
+* ``slow_machines[m] = f`` — machine ``m``'s enumeration costs are
+  multiplied by ``f`` (a straggler), which drives extra work stealing.
+
+Every stochastic decision flows from ``seed`` through
+:meth:`FaultPlan.rng`, so a plan replays identically run after run —
+the deterministic-seed guarantee DESIGN.md documents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+__all__ = ["FaultPlan", "InjectedCrash", "InjectedUnitError"]
+
+
+class InjectedCrash(RuntimeError):
+    """A planned crash of a worker thread or simulated machine."""
+
+    def __init__(self, kind: str, subject: int) -> None:
+        super().__init__(f"injected crash of {kind} {subject}")
+        self.kind = kind
+        self.subject = subject
+
+
+class InjectedUnitError(RuntimeError):
+    """A planned unit-level failure (the worker survives)."""
+
+    def __init__(self, worker: int, unit_index: int) -> None:
+        super().__init__(
+            f"injected failure of worker {worker}'s unit #{unit_index}"
+        )
+        self.worker = worker
+        self.unit_index = unit_index
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, seeded description of the failures to inject."""
+
+    seed: int = 0
+    machine_crashes: Dict[int, int] = field(default_factory=dict)
+    worker_crash_picks: FrozenSet[int] = field(default_factory=frozenset)
+    worker_error_picks: FrozenSet[int] = field(default_factory=frozenset)
+    message_drop_rate: float = 0.0
+    slow_machines: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.message_drop_rate < 1.0:
+            raise ValueError("message_drop_rate must be in [0, 1)")
+        for m, factor in self.slow_machines.items():
+            if factor < 1.0:
+                raise ValueError(
+                    f"slow_machines[{m}] must be >= 1.0, got {factor}"
+                )
+
+    def rng(self) -> random.Random:
+        """A fresh RNG seeded by the plan — identical streams on every
+        replay of the same plan."""
+        return random.Random(self.seed)
+
+    # ------------------------------------------------------------------
+    # Injection predicates (all deterministic)
+    # ------------------------------------------------------------------
+    def machine_crashes_at(self, machine: int, clusters_started: int) -> bool:
+        """Does ``machine`` die when starting its n-th cluster?"""
+        return self.machine_crashes.get(machine) == clusters_started
+
+    def worker_crash_at(self, global_pick: int) -> bool:
+        """Does the worker starting the globally n-th unit die?"""
+        return global_pick in self.worker_crash_picks
+
+    def worker_error_at(self, global_pick: int) -> bool:
+        """Does the globally n-th unit attempt raise (worker survives)?"""
+        return global_pick in self.worker_error_picks
+
+    def slowdown(self, machine: int) -> float:
+        """Cost multiplier for ``machine`` (1.0 = healthy)."""
+        return self.slow_machines.get(machine, 1.0)
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return (
+            not self.machine_crashes
+            and not self.worker_crash_picks
+            and not self.worker_error_picks
+            and self.message_drop_rate == 0.0
+            and not self.slow_machines
+        )
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        num_machines: int = 0,
+        num_workers: int = 0,
+        crash_fraction: float = 0.25,
+        message_drop_rate: float = 0.0,
+        max_crash_position: int = 3,
+    ) -> "FaultPlan":
+        """A randomized-but-deterministic plan: ``crash_fraction`` of the
+        machines crash at a seeded early cluster position, and the same
+        fraction of worker-count crash picks are injected at seeded
+        early global unit indices.  The same seed always yields the same
+        plan."""
+        rng = random.Random(seed)
+        machine_crashes: Dict[int, int] = {}
+        crash_picks: set = set()
+        if num_machines > 0:
+            count = max(1, int(num_machines * crash_fraction))
+            count = min(count, num_machines - 1) if num_machines > 1 else 0
+            for m in rng.sample(range(num_machines), count):
+                machine_crashes[m] = rng.randrange(max_crash_position + 1)
+        if num_workers > 1:
+            count = min(
+                max(1, int(num_workers * crash_fraction)), num_workers - 1
+            )
+            span = max(num_workers * (max_crash_position + 1), count)
+            crash_picks.update(rng.sample(range(span), count))
+        return cls(
+            seed=seed,
+            machine_crashes=machine_crashes,
+            worker_crash_picks=frozenset(crash_picks),
+            message_drop_rate=message_drop_rate,
+        )

@@ -1,0 +1,145 @@
+"""Retry accounting and failure reporting shared by the parallel-thread
+and simulated-distributed runtimes.
+
+Both runtimes follow the same recovery contract:
+
+1. a failed piece of work (a thread's :class:`~repro.core.clusters.
+   WorkUnit`, a machine's embedding cluster) is requeued to the
+   surviving executors with its attempt counter bumped;
+2. a piece whose attempts exceed ``RetryPolicy.max_retries`` is reported
+   *failed* instead of being retried forever;
+3. every crash / retry / reassignment is appended to a
+   :class:`RecoveryLog`, and the final result either provably covers the
+   full embedding set or carries (or raises with) a complete
+   :class:`FailureReport` — work is never silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = [
+    "FailureReport",
+    "ParallelExecutionError",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times one piece of work may be retried after a failure
+    before it is declared failed (0 = fail on first loss)."""
+
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def allows(self, attempts_so_far: int) -> bool:
+        """May a piece that already ran ``attempts_so_far`` times be
+        tried again?"""
+        return attempts_so_far <= self.max_retries
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One recovery-relevant incident.
+
+    ``kind`` is one of ``"worker_crash"``, ``"machine_crash"``,
+    ``"unit_error"``, ``"requeue"``, ``"reassign"``, ``"message_drop"``,
+    ``"give_up"``; ``subject`` is the worker/machine id involved and
+    ``work`` identifies the unit prefix or cluster pivot (None for
+    events without an associated piece of work).
+    """
+
+    kind: str
+    subject: int
+    work: Optional[Tuple[int, ...]] = None
+    attempt: int = 0
+    detail: str = ""
+
+
+class RecoveryLog:
+    """Ordered record of every recovery event in one run."""
+
+    def __init__(self) -> None:
+        self.events: List[RecoveryEvent] = []
+
+    def record(
+        self,
+        kind: str,
+        subject: int,
+        work: Optional[Tuple[int, ...]] = None,
+        attempt: int = 0,
+        detail: str = "",
+    ) -> RecoveryEvent:
+        event = RecoveryEvent(kind, subject, work, attempt, detail)
+        self.events.append(event)
+        return event
+
+    def count(self, kind: str) -> int:
+        """Number of events of one kind."""
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts keyed by kind."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+
+@dataclass
+class FailureReport:
+    """Everything that went permanently wrong in one run."""
+
+    #: Work pieces that exceeded the retry policy: (identifier, reason).
+    failed_work: List[Tuple[Tuple[int, ...], str]] = field(
+        default_factory=list
+    )
+    #: Executor ids (workers or machines) that crashed.
+    crashed: List[int] = field(default_factory=list)
+    #: The full event log of the run.
+    log: RecoveryLog = field(default_factory=RecoveryLog)
+
+    @property
+    def ok(self) -> bool:
+        """True when no work was permanently lost (crashes that were
+        fully recovered from still leave ``ok`` True)."""
+        return not self.failed_work
+
+    def describe(self) -> str:
+        lines = []
+        if self.crashed:
+            lines.append(
+                f"crashed executors: {sorted(self.crashed)}"
+            )
+        for work, reason in self.failed_work:
+            lines.append(f"failed work {work}: {reason}")
+        if not lines:
+            lines.append("no permanent failures")
+        return "; ".join(lines)
+
+
+class ParallelExecutionError(RuntimeError):
+    """Raised when a parallel run cannot guarantee the full embedding
+    set — some work exceeded its retries or no workers survived.  Never
+    raised for failures that were fully recovered."""
+
+    def __init__(self, report: FailureReport, reports: Any = None) -> None:
+        super().__init__(
+            f"parallel execution lost work: {report.describe()}"
+        )
+        self.report = report
+        #: The per-worker WorkerReport list (when available).
+        self.worker_reports = reports

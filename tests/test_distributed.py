@@ -12,6 +12,7 @@ from repro.distributed import (
     lightweight_workload,
 )
 from repro.graph import power_law
+from repro.resilience import FaultPlan
 
 
 @pytest.fixture(scope="module")
@@ -179,3 +180,67 @@ class TestDistributedRuns:
     def test_unknown_mode_rejected(self, triangle_query, data):
         with pytest.raises(ValueError):
             DistributedCECI(triangle_query, data, mode="floppy")
+
+
+class TestDistributedEdgeCases:
+    """Degenerate cluster topologies must still yield the exact
+    sequential embedding set (satellite of the resilience PR)."""
+
+    @pytest.fixture(scope="class")
+    def tiny_data(self):
+        # Two disjoint triangles: at most 6 cluster pivots, so any
+        # machine count above that leaves machines with no work.
+        return Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+
+    def test_more_machines_than_pivots(self, triangle_query, tiny_data):
+        sequential = set(CECIMatcher(triangle_query, tiny_data).match())
+        result = DistributedCECI(
+            triangle_query, tiny_data, num_machines=8
+        ).run()
+        assert result.complete
+        assert set(result.embeddings) == sequential
+        assert len(result.embeddings) == len(sequential)
+        assert any(not r.pivots for r in result.reports)
+
+    def test_zero_pivot_machine_report_is_benign(
+        self, triangle_query, tiny_data
+    ):
+        result = DistributedCECI(
+            triangle_query, tiny_data, num_machines=8
+        ).run()
+        idle = [r for r in result.reports if not r.pivots]
+        assert idle  # 8 machines cannot all own a pivot here
+        for report in idle:
+            assert report.construction_io == 0.0
+            assert report.construction_compute == 0.0
+            assert report.local_enumeration == 0.0
+            assert not report.crashed
+
+    def test_crash_with_more_machines_than_pivots(
+        self, triangle_query, tiny_data
+    ):
+        sequential = set(CECIMatcher(triangle_query, tiny_data).match())
+        plan = FaultPlan(seed=5, machine_crashes={0: 0})
+        result = DistributedCECI(
+            triangle_query, tiny_data, num_machines=8, fault_plan=plan
+        ).run()
+        assert result.complete
+        assert set(result.embeddings) == sequential
+
+    def test_all_clusters_stolen_from_straggler(self, triangle_query, data):
+        # Make machine 0 pathologically slow: after its first cluster it
+        # never gets scheduled again, so survivors steal its entire
+        # remaining queue — the union must still be exact.
+        sequential = set(CECIMatcher(triangle_query, data).match())
+        plan = FaultPlan(seed=2, slow_machines={0: 1e9})
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert result.complete
+        assert set(result.embeddings) == sequential
+        assert len(result.embeddings) == len(sequential)
+        straggler = result.reports[0]
+        assert len(straggler.pivots) > 1
+        # Everything past the straggler's first pick was stolen.
+        stolen = sum(r.steals for r in result.reports)
+        assert stolen >= len(straggler.pivots) - 1

@@ -1,0 +1,394 @@
+"""Tests for the resilience layer: enumeration budgets, deterministic
+fault injection, and crash recovery in the parallel and distributed
+runtimes."""
+
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.graph import power_law
+from repro.parallel import parallel_match
+from repro.distributed import DistributedCECI
+from repro.resilience import (
+    Budget,
+    BudgetExhausted,
+    FaultPlan,
+    ParallelExecutionError,
+    PartialResult,
+    RecoveryLog,
+    RetryPolicy,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return power_law(300, 4, seed=67)
+
+
+@pytest.fixture(scope="module")
+def triangle_query():
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture(scope="module")
+def sequential(triangle_query, data):
+    return set(CECIMatcher(triangle_query, data).match())
+
+
+class TestBudget:
+    def test_rejects_non_positive_axes(self):
+        with pytest.raises(ValueError):
+            Budget(deadline_seconds=0)
+        with pytest.raises(ValueError):
+            Budget(max_calls=-1)
+
+    def test_unlimited(self):
+        assert Budget().unlimited
+        assert not Budget(max_calls=10).unlimited
+
+    def test_tracker_max_calls(self):
+        tracker = Budget(max_calls=3).tracker().start()
+        for _ in range(3):
+            tracker.charge_call()
+        with pytest.raises(BudgetExhausted) as err:
+            tracker.charge_call()
+        assert err.value.reason == "max_calls"
+
+    def test_tracker_max_embeddings(self):
+        tracker = Budget(max_embeddings=2).tracker().start()
+        tracker.charge_embedding(3)
+        tracker.charge_embedding(3)
+        with pytest.raises(BudgetExhausted) as err:
+            tracker.charge_embedding(3)
+        assert err.value.reason == "max_embeddings"
+
+    def test_tracker_memory(self):
+        tracker = Budget(max_memory_bytes=100).tracker().start()
+        tracker.charge_embedding(3)  # 56 + 24 = 80 bytes
+        with pytest.raises(BudgetExhausted) as err:
+            tracker.charge_embedding(3)
+        assert err.value.reason == "max_memory"
+
+    def test_expired_deadline_detected(self):
+        tracker = Budget(deadline_seconds=1e-9).tracker().start()
+        assert tracker.deadline_passed()
+        with pytest.raises(BudgetExhausted):
+            tracker.check_deadline()
+
+
+class TestBudgetedMatcher:
+    def test_max_calls_truncates(self, triangle_query, data, sequential):
+        matcher = CECIMatcher(triangle_query, data, budget=Budget(max_calls=40))
+        result = matcher.run()
+        assert result.truncated and not result.exhausted
+        assert result.stop_reason == "max_calls"
+        assert 0 < len(result) < len(sequential)
+        assert matcher.stats.budget_stops == 1
+        # the partial answer contains only true embeddings
+        assert set(result.embeddings) <= sequential
+
+    def test_max_embeddings_truncates_exactly(self, triangle_query, data):
+        matcher = CECIMatcher(
+            triangle_query, data, budget=Budget(max_embeddings=10)
+        )
+        result = matcher.run()
+        assert result.truncated and result.stop_reason == "max_embeddings"
+        assert len(result) == 10
+
+    def test_tight_deadline_returns_instead_of_hanging(
+        self, triangle_query, data
+    ):
+        matcher = CECIMatcher(
+            triangle_query, data, budget=Budget(deadline_seconds=1e-9)
+        )
+        result = matcher.run()
+        assert result.truncated and result.stop_reason == "deadline"
+
+    def test_unbudgeted_run_is_exhaustive(
+        self, triangle_query, data, sequential
+    ):
+        result = CECIMatcher(triangle_query, data).run()
+        assert result.exhausted and not result.truncated
+        assert set(result.embeddings) == sequential
+
+    def test_limit_cut_is_neither_exhausted_nor_truncated(
+        self, triangle_query, data
+    ):
+        result = CECIMatcher(triangle_query, data).run(limit=5)
+        assert len(result) == 5
+        assert not result.truncated and not result.exhausted
+
+    def test_generous_budget_unchanged_result(
+        self, triangle_query, data, sequential
+    ):
+        matcher = CECIMatcher(
+            triangle_query, data, budget=Budget(max_calls=10**9)
+        )
+        result = matcher.run()
+        assert result.exhausted
+        assert set(result.embeddings) == sequential
+
+    def test_budgeted_generator_path(self, triangle_query, data):
+        matcher = CECIMatcher(triangle_query, data, budget=Budget(max_calls=40))
+        enumerator = matcher.enumerator()
+        found = list(enumerator.embeddings())
+        assert enumerator.truncated
+        assert enumerator.stop_reason == "max_calls"
+        assert found  # partial, not empty, and did not raise
+
+
+class TestPartialResult:
+    def test_container_protocol(self):
+        result = PartialResult([(0, 1), (2, 3)])
+        assert len(result) == 2
+        assert list(result) == [(0, 1), (2, 3)]
+        assert bool(result)
+        assert not PartialResult([])
+
+
+class TestFaultPlan:
+    def test_chaos_is_deterministic(self):
+        a = FaultPlan.chaos(42, num_machines=4, num_workers=4)
+        b = FaultPlan.chaos(42, num_machines=4, num_workers=4)
+        assert a == b
+
+    def test_chaos_varies_with_seed(self):
+        plans = [
+            FaultPlan.chaos(s, num_machines=8, num_workers=8) for s in range(8)
+        ]
+        assert any(p != plans[0] for p in plans[1:])
+
+    def test_chaos_never_kills_everyone(self):
+        plan = FaultPlan.chaos(1, num_machines=4, num_workers=4)
+        assert 0 < len(plan.machine_crashes) < 4
+        assert 0 < len(plan.worker_crash_picks) < 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(message_drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(slow_machines={0: 0.5})
+
+    def test_rng_replays(self):
+        plan = FaultPlan(seed=9)
+        assert [plan.rng().random() for _ in range(3)] == [
+            plan.rng().random() for _ in range(3)
+        ]
+
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(machine_crashes={0: 1}).empty
+
+
+class TestRecoveryPrimitives:
+    def test_retry_policy(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.allows(2) and not policy.allows(3)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_recovery_log_counts(self):
+        log = RecoveryLog()
+        log.record("requeue", 1, (3,))
+        log.record("requeue", 2, (4,))
+        log.record("give_up", 1, (5,))
+        assert log.count("requeue") == 2
+        assert log.summary() == {"requeue": 2, "give_up": 1}
+        assert len(log) == 3
+
+
+class TestParallelCrashSafety:
+    @pytest.mark.parametrize("policy", ["ST", "CGD", "FGD"])
+    def test_worker_crash_recovered_exactly(
+        self, policy, triangle_query, data, sequential
+    ):
+        matcher = CECIMatcher(triangle_query, data)
+        plan = FaultPlan(seed=1, worker_crash_picks=frozenset({5}))
+        found, reports = parallel_match(
+            matcher, workers=4, policy=policy, fault_plan=plan
+        )
+        assert set(found) == sequential
+        assert len(found) == len(sequential)  # no duplicates either
+        assert sum(1 for r in reports if r.crashed) == 1
+        assert matcher.stats.worker_crashes == 1
+        assert matcher.stats.retries >= 1
+
+    def test_unit_errors_are_retried_not_dropped(
+        self, triangle_query, data, sequential
+    ):
+        matcher = CECIMatcher(triangle_query, data)
+        plan = FaultPlan(seed=1, worker_error_picks=frozenset({0, 3, 7}))
+        found, reports = parallel_match(
+            matcher, workers=4, policy="FGD", fault_plan=plan
+        )
+        assert set(found) == sequential
+        assert matcher.stats.retries == 3
+        assert sum(r.units_failed for r in reports) == 3
+        assert any(r.failures for r in reports)
+
+    def test_all_workers_crashing_raises_with_report(
+        self, triangle_query, data
+    ):
+        matcher = CECIMatcher(triangle_query, data)
+        plan = FaultPlan(seed=1, worker_crash_picks=frozenset(range(500)))
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_match(
+                matcher, workers=2, policy="CGD", fault_plan=plan
+            )
+        assert not err.value.report.ok
+        assert err.value.report.failed_work
+        assert sorted(err.value.report.crashed) == [0, 1]
+
+    def test_retries_exhausted_raises(self, triangle_query, data):
+        # every attempt of every unit errors out -> retries must run dry
+        matcher = CECIMatcher(triangle_query, data)
+        plan = FaultPlan(seed=1, worker_error_picks=frozenset(range(10**4)))
+        with pytest.raises(ParallelExecutionError) as err:
+            parallel_match(
+                matcher, workers=4, policy="CGD", fault_plan=plan,
+                max_retries=1,
+            )
+        assert "retries exhausted" in str(err.value)
+
+    def test_units_processed_accounts_every_unit(self, triangle_query, data):
+        matcher = CECIMatcher(triangle_query, data)
+        units = len(matcher.work_units(beta=None))
+        found, reports = parallel_match(matcher, workers=4, policy="CGD")
+        assert sum(r.units_processed for r in reports) == units
+
+    def test_units_processed_counts_limit_stopped_units(
+        self, triangle_query, data
+    ):
+        matcher = CECIMatcher(triangle_query, data)
+        found, reports = parallel_match(
+            matcher, workers=4, policy="CGD", limit=7
+        )
+        # the unit that hit the limit still counts as processed
+        assert sum(r.units_processed for r in reports) >= 1
+
+    @pytest.mark.parametrize("limit", [1, 7, 50])
+    def test_limit_exact_under_faults(
+        self, limit, triangle_query, data, sequential
+    ):
+        matcher = CECIMatcher(triangle_query, data)
+        plan = FaultPlan(seed=1, worker_crash_picks=frozenset({2}))
+        found, _ = parallel_match(
+            matcher, workers=4, policy="FGD", limit=limit, fault_plan=plan
+        )
+        assert len(found) == min(limit, len(sequential))
+        assert set(found) <= sequential
+
+
+class TestDistributedRecovery:
+    def test_machine_crash_recovered_exactly(
+        self, triangle_query, data, sequential
+    ):
+        plan = FaultPlan(seed=7, machine_crashes={1: 2})
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert result.complete
+        assert set(result.embeddings) == sequential
+        assert len(result.embeddings) == len(sequential)
+        assert result.reports[1].crashed
+        assert result.stats.machine_crashes == 1
+        assert result.stats.retries >= 1
+        assert result.stats.reassignments >= 1
+        assert sum(r.reassigned for r in result.reports) == (
+            result.stats.reassignments
+        )
+
+    def test_fault_run_is_replayable(self, triangle_query, data):
+        plan = FaultPlan(seed=7, machine_crashes={1: 2}, message_drop_rate=0.2)
+        a = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        b = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert a.embeddings == b.embeddings
+        assert a.stats.messages_dropped == b.stats.messages_dropped
+        assert a.total_time == b.total_time
+
+    def test_message_drops_cost_and_count(self, triangle_query, data):
+        plan = FaultPlan(seed=3, message_drop_rate=0.3)
+        dropped = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        clean = DistributedCECI(triangle_query, data, num_machines=4).run()
+        assert dropped.stats.messages_dropped > 0
+        assert set(dropped.embeddings) == set(clean.embeddings)
+        assert sum(
+            r.construction_comm for r in dropped.reports
+        ) > sum(r.construction_comm for r in clean.reports)
+
+    def test_slow_machine_sheds_work_to_peers(self, triangle_query, data):
+        plan = FaultPlan(seed=3, slow_machines={0: 50.0})
+        slow = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        clean = DistributedCECI(triangle_query, data, num_machines=4).run()
+        assert set(slow.embeddings) == set(clean.embeddings)
+        assert sum(r.steals for r in slow.reports) >= sum(
+            r.steals for r in clean.reports
+        )
+
+    def test_losing_every_machine_is_flagged_not_silent(
+        self, triangle_query, data
+    ):
+        plan = FaultPlan(
+            seed=7, machine_crashes={0: 0, 1: 0, 2: 0, 3: 0}
+        )
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert not result.complete
+        assert result.failed_clusters
+        assert result.recovery.count("machine_crash") == 4
+
+    def test_retry_accounting_in_recovery_log(self, triangle_query, data):
+        plan = FaultPlan(seed=7, machine_crashes={1: 0})
+        result = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert result.recovery.count("machine_crash") == 1
+        assert result.recovery.count("requeue") == 1
+        assert result.recovery.count("reassign") >= 1
+
+
+class TestAcceptanceScenario:
+    """The ISSUE's bar: 1 of 4 machines and 1 of 4 workers crash
+    mid-run; both paths still return the exact sequential set and the
+    stats expose the recovery work."""
+
+    def test_both_paths_survive_chaos(self, triangle_query, data, sequential):
+        plan = FaultPlan.chaos(42, num_machines=4, num_workers=4)
+        assert plan.machine_crashes and plan.worker_crash_picks
+
+        matcher = CECIMatcher(triangle_query, data)
+        par, reports = parallel_match(
+            matcher, workers=4, policy="FGD", fault_plan=plan
+        )
+        assert set(par) == sequential
+        assert len(par) == len(sequential)
+        assert matcher.stats.worker_crashes == len(plan.worker_crash_picks)
+        assert matcher.stats.retries >= 1
+
+        dist = DistributedCECI(
+            triangle_query, data, num_machines=4, fault_plan=plan
+        ).run()
+        assert dist.complete
+        assert set(dist.embeddings) == sequential
+        assert len(dist.embeddings) == len(sequential)
+        assert dist.stats.machine_crashes == len(plan.machine_crashes)
+        assert dist.stats.retries + dist.stats.reassignments >= 1
+
+    def test_tight_budget_returns_partial_not_unbounded(
+        self, triangle_query, data
+    ):
+        matcher = CECIMatcher(
+            triangle_query, data, budget=Budget(max_calls=25)
+        )
+        result = matcher.run()
+        assert result.truncated
+        assert not result.exhausted
+        assert matcher.stats.recursive_calls <= 25 + 1
