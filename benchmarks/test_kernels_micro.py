@@ -1,0 +1,141 @@
+"""Intersection-kernel micro-benchmarks (DESIGN.md §7).
+
+Sweeps the two axes the adaptive dispatcher decides on:
+
+* **size ratio** — a short list against a 1x/10x/100x/1000x longer one
+  drawn from a shared universe.  Galloping must beat linear merge by a
+  widening margin as the skew grows (the acceptance bar is >= 2x at
+  1:1000; measured is typically far higher).
+* **density** — lists covering a growing fraction of a small shared
+  span.  The bitset kernel's word-parallel AND should overtake merge
+  once the shortest list is dense in the span.
+
+Results land in ``benchmarks/results/BENCH_kernels.json``.  Timing is
+plain ``perf_counter`` best-of-N (no pytest-benchmark dependency), so a
+bare ``pytest benchmarks/test_kernels_micro.py`` works in CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from typing import Dict, List, Sequence
+
+from repro.kernels import (
+    choose_kernel,
+    intersect_bitset,
+    intersect_gallop,
+    intersect_merge,
+)
+
+KERNELS = {
+    "merge": intersect_merge,
+    "gallop": intersect_gallop,
+    "bitset": intersect_bitset,
+}
+
+#: Acceptance bar: gallop over merge at the most skewed ratio.
+MIN_GALLOP_SPEEDUP_AT_1000 = 2.0
+
+SHORT = 50
+RATIOS = (1, 10, 100, 1000)
+DENSITY_SPAN = 4096
+DENSITIES = (1 / 32, 1 / 8, 1 / 4, 1 / 2)
+
+
+def _best_of(fn, *, repeats: int = 5, inner: int = 10) -> float:
+    """Best mean-over-inner-loop wall time in microseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter() - start) / inner
+        best = min(best, elapsed)
+    return best * 1e6
+
+
+def _ratio_case(rng: random.Random, ratio: int) -> List[List[int]]:
+    universe = SHORT * ratio * 3
+    a = sorted(rng.sample(range(universe), SHORT))
+    b = sorted(rng.sample(range(universe), SHORT * ratio))
+    return [a, b]
+
+
+def _density_case(rng: random.Random, density: float) -> List[List[int]]:
+    size = int(DENSITY_SPAN * density)
+    a = sorted(rng.sample(range(DENSITY_SPAN), size))
+    b = sorted(rng.sample(range(DENSITY_SPAN), size))
+    return [a, b]
+
+
+def _measure(lists: Sequence[Sequence[int]]) -> Dict[str, float]:
+    return {
+        name: _best_of(lambda kernel=kernel: kernel(lists))
+        for name, kernel in KERNELS.items()
+    }
+
+
+def test_kernels_micro(results_dir):
+    rng = random.Random(20190624)  # CECI's SIGMOD publication date
+    report = {
+        "generated_by": "benchmarks/test_kernels_micro.py",
+        "short_list_size": SHORT,
+        "size_ratio_sweep": [],
+        "density_sweep": [],
+    }
+
+    for ratio in RATIOS:
+        lists = _ratio_case(rng, ratio)
+        expected = KERNELS["merge"](lists)
+        for name, kernel in KERNELS.items():
+            assert kernel(lists) == expected, (ratio, name)
+        timing = _measure(lists)
+        report["size_ratio_sweep"].append({
+            "ratio": ratio,
+            "sizes": [len(values) for values in lists],
+            "result_size": len(expected),
+            "auto_kernel": choose_kernel(lists),
+            "us": timing,
+            "gallop_speedup_vs_merge": timing["merge"] / timing["gallop"],
+        })
+
+    for density in DENSITIES:
+        lists = _density_case(rng, density)
+        expected = KERNELS["merge"](lists)
+        for name, kernel in KERNELS.items():
+            assert kernel(lists) == expected, (density, name)
+        timing = _measure(lists)
+        report["density_sweep"].append({
+            "density": density,
+            "span": DENSITY_SPAN,
+            "sizes": [len(values) for values in lists],
+            "result_size": len(expected),
+            "auto_kernel": choose_kernel(lists),
+            "us": timing,
+            "bitset_speedup_vs_merge": timing["merge"] / timing["bitset"],
+        })
+
+    extreme = report["size_ratio_sweep"][-1]
+    assert extreme["ratio"] == 1000
+    report["acceptance"] = {
+        "min_gallop_speedup_at_1000": MIN_GALLOP_SPEEDUP_AT_1000,
+        "measured_gallop_speedup_at_1000": extreme["gallop_speedup_vs_merge"],
+    }
+
+    path = os.path.join(results_dir, "BENCH_kernels.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    # The dispatcher must route the extremes to the right kernels...
+    assert extreme["auto_kernel"] == "gallop"
+    assert report["size_ratio_sweep"][0]["auto_kernel"] in ("merge", "bitset")
+    assert report["density_sweep"][-1]["auto_kernel"] == "bitset"
+    # ...and the headline claim must hold with margin.
+    assert extreme["gallop_speedup_vs_merge"] >= MIN_GALLOP_SPEEDUP_AT_1000, (
+        f"gallop only {extreme['gallop_speedup_vs_merge']:.2f}x over merge "
+        f"at 1:1000 (need >= {MIN_GALLOP_SPEEDUP_AT_1000}x); see {path}"
+    )

@@ -22,6 +22,9 @@ Subpackages
 ``repro.parallel``
     ST / CGD / FGD scheduling, crash-safe thread executor,
     simulated-time executor.
+``repro.kernels``
+    Adaptive sorted-set intersection kernels (merge / gallop / bitset)
+    and the bounded TE∩NTE memo cache behind enumeration's hot path.
 ``repro.resilience``
     Enumeration budgets (:class:`Budget` / :class:`PartialResult`),
     seeded fault injection (:class:`FaultPlan`), retry/recovery

@@ -82,7 +82,15 @@ def _cfl_order(query: Graph, root: int) -> List[int]:
 
 
 class CFLMatcher:
-    """Core-forest-leaf matcher over a CPI-style (TE-only) index."""
+    """Core-forest-leaf matcher over a CPI-style (TE-only) index.
+
+    ``use_intersection=False`` (default) reproduces CFLMatch faithfully:
+    non-tree edges are resolved by per-candidate edge verification.
+    ``use_intersection=True`` is the kernel-suite variant — the CPI has
+    no NTE lists, so the enumerator intersects the TE candidate list
+    with the *data adjacency lists* of the matched NTE parents through
+    the adaptive kernels (identical embeddings, different cost model).
+    """
 
     def __init__(
         self,
@@ -90,6 +98,8 @@ class CFLMatcher:
         data: Graph,
         break_automorphisms: bool = True,
         stats: Optional[MatchStats] = None,
+        use_intersection: bool = False,
+        kernel: str = "auto",
     ) -> None:
         if not query.is_connected():
             raise ValueError("query graph must be connected")
@@ -97,6 +107,8 @@ class CFLMatcher:
         self.data = data
         self.stats = stats if stats is not None else MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self.use_intersection = use_intersection
+        self.kernel = kernel
         self._enumerator: Optional[Enumerator] = None
 
     def _build(self) -> Enumerator:
@@ -108,12 +120,13 @@ class CFLMatcher:
         cpi = build_ceci(
             tree, self.data, pivots, self.stats, build_nte=False
         )
-        refine_ceci(cpi, self.stats)
+        refine_ceci(cpi, self.stats, kernel=self.kernel)
         self._enumerator = Enumerator(
             cpi,
             symmetry=self.symmetry,
-            use_intersection=False,  # CPI has no NTE lists: verify edges
+            use_intersection=self.use_intersection,
             stats=self.stats,
+            kernel=self.kernel,
         )
         return self._enumerator
 
@@ -138,6 +151,14 @@ def cflmatch_match(
     data: Graph,
     limit: Optional[int] = None,
     break_automorphisms: bool = True,
+    use_intersection: bool = False,
+    kernel: str = "auto",
 ) -> List[Tuple[int, ...]]:
     """Functional one-shot wrapper."""
-    return CFLMatcher(query, data, break_automorphisms).match(limit)
+    return CFLMatcher(
+        query,
+        data,
+        break_automorphisms,
+        use_intersection=use_intersection,
+        kernel=kernel,
+    ).match(limit)

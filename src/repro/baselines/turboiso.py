@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..graph import Graph
+from ..kernels import KERNEL_CHOICES, dispatch
 from ..core.automorphism import SymmetryBreaker
 from ..core.query_tree import QueryTree
 from ..core.root_selection import initial_candidates, select_root
@@ -34,7 +35,15 @@ __all__ = ["TurboIsoMatcher", "turboiso_match", "boosted_turboiso_match", "data_
 
 
 class TurboIsoMatcher:
-    """Candidate-region based matcher."""
+    """Candidate-region based matcher.
+
+    ``use_intersection=False`` (default) is faithful TurboIso: non-tree
+    edges are checked per candidate against the data graph.
+    ``use_intersection=True`` resolves them through the adaptive kernel
+    suite instead — the region's candidate list is intersected with the
+    sorted adjacency lists of the already-matched neighbors (identical
+    embeddings, Lemma 2 cost model).
+    """
 
     def __init__(
         self,
@@ -42,13 +51,22 @@ class TurboIsoMatcher:
         data: Graph,
         break_automorphisms: bool = True,
         stats: Optional[MatchStats] = None,
+        use_intersection: bool = False,
+        kernel: str = "auto",
     ) -> None:
         if not query.is_connected():
             raise ValueError("query graph must be connected")
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown intersection kernel {kernel!r}; "
+                f"expected one of {KERNEL_CHOICES}"
+            )
         self.query = query
         self.data = data
         self.stats = stats if stats is not None else MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
+        self.use_intersection = use_intersection
+        self.kernel = kernel
         root, pivots = select_root(query, data, MatchStats())
         self.root = root
         self.pivots = pivots
@@ -137,10 +155,16 @@ class TurboIsoMatcher:
             return
         u = order[depth + 1]
         v_p = mapping[self.tree.parent[u]]
-        for v in region[u].get(v_p, ()):
+        if self.use_intersection:
+            candidates = self._matching_nodes(region, u, v_p, mapping)
+            verify_edges = False
+        else:
+            candidates = region[u].get(v_p, ())
+            verify_edges = True
+        for v in candidates:
             if v in used:
                 continue
-            if not self._edges_ok(u, v, mapping):
+            if verify_edges and not self._edges_ok(u, v, mapping):
                 continue
             if not self.symmetry.admissible(u, v, mapping):
                 continue
@@ -153,6 +177,31 @@ class TurboIsoMatcher:
             mapping[u] = -1
             if remaining[0] is not None and remaining[0] <= 0:
                 return
+
+    def _matching_nodes(
+        self,
+        region: Dict[int, Dict[int, List[int]]],
+        u: int,
+        v_p: int,
+        mapping: List[int],
+    ) -> List[int]:
+        """Region candidates of ``u`` under ``v_p``, constrained by the
+        matched non-tree neighbors via k-way sorted intersection (the
+        region lists are built in adjacency order, hence sorted)."""
+        base = region[u].get(v_p)
+        if not base:
+            return []
+        lists: List[Sequence[int]] = [base]
+        for w in self.query.neighbors(u):
+            matched = mapping[w]
+            if matched >= 0 and w != self.tree.parent[u]:
+                lists.append(self.data.neighbors(matched))
+        if len(lists) == 1:
+            return base
+        self.stats.intersections += 1
+        name, result = dispatch(lists, self.kernel)
+        self.stats.count_kernel(name)
+        return result
 
     def _edges_ok(self, u: int, v: int, mapping: List[int]) -> bool:
         """Verify every query edge from ``u`` into the partial embedding
@@ -219,9 +268,17 @@ def turboiso_match(
     data: Graph,
     limit: Optional[int] = None,
     break_automorphisms: bool = True,
+    use_intersection: bool = False,
+    kernel: str = "auto",
 ) -> List[Tuple[int, ...]]:
     """Plain TurboIso."""
-    return TurboIsoMatcher(query, data, break_automorphisms).match(limit)
+    return TurboIsoMatcher(
+        query,
+        data,
+        break_automorphisms,
+        use_intersection=use_intersection,
+        kernel=kernel,
+    ).match(limit)
 
 
 class BoostedTurboIsoMatcher(TurboIsoMatcher):

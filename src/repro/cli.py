@@ -3,6 +3,7 @@
 ::
 
     python -m repro match    QUERY DATA [--limit N] [--order bfs] [--all-autos]
+                                        [--kernel {auto,merge,gallop,bitset}]
                                         [--timeout S] [--max-calls N]
                                         [--workers K] [--inject-faults SEED]
     python -m repro count    QUERY DATA [--limit N] [...same flags]
@@ -15,6 +16,9 @@
 ``.graph`` (labeled t/v/e rows), ``.csr`` (binary CSR), anything else is
 read as a SNAP edge list.
 
+``--kernel`` selects the set-intersection kernel (default ``auto`` —
+adaptive dispatch by size ratio and density; see DESIGN.md §7); kernel
+and cache counters are reported on stderr and in ``stats`` JSON.
 ``--timeout`` / ``--max-calls`` cap the run with a
 :class:`~repro.resilience.budget.Budget`; a truncated run prints a
 ``# truncated: <axis>`` line on stderr instead of hanging.
@@ -75,6 +79,19 @@ def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
         order_strategy=args.order,
         break_automorphisms=not args.all_autos,
         budget=_budget_from(args),
+        kernel=getattr(args, "kernel", "auto"),
+    )
+
+
+def _print_kernel_stats(stats) -> None:
+    """One stderr line of kernel dispatch + cache counters."""
+    print(
+        f"# kernels: merge={stats.kernel_merge_calls} "
+        f"gallop={stats.kernel_gallop_calls} "
+        f"bitset={stats.kernel_bitset_calls} | "
+        f"cache: {stats.cache_hits} hits / {stats.cache_misses} misses / "
+        f"{stats.cache_evictions} evictions",
+        file=sys.stderr,
     )
 
 
@@ -125,6 +142,7 @@ def _cmd_match(args: argparse.Namespace) -> int:
         f"({matcher.stats.recursive_calls} recursive calls)",
         file=sys.stderr,
     )
+    _print_kernel_stats(matcher.stats)
     if truncated:
         print(f"# truncated: {stop_reason}", file=sys.stderr)
     return 0
@@ -137,6 +155,7 @@ def _cmd_count(args: argparse.Namespace) -> int:
     elapsed = time.perf_counter() - started
     print(len(embeddings))
     print(f"# counted in {elapsed:.3f}s", file=sys.stderr)
+    _print_kernel_stats(matcher.stats)
     if truncated:
         print(f"# truncated: {stop_reason}", file=sys.stderr)
     return 0
@@ -169,6 +188,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         "recursive_calls": stats.recursive_calls,
         "intersections": stats.intersections,
         "edge_verifications": stats.edge_verifications,
+        "kernels": {
+            "merge": stats.kernel_merge_calls,
+            "gallop": stats.kernel_gallop_calls,
+            "bitset": stats.kernel_bitset_calls,
+        },
+        "cache": {
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "evictions": stats.cache_evictions,
+        },
         "candidates_scanned": stats.candidates_initial,
         "removed": {
             "label": stats.removed_by_label,
@@ -226,6 +255,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="matching-order strategy")
         p.add_argument("--all-autos", action="store_true",
                        help="list every automorphism (no symmetry breaking)")
+        p.add_argument("--kernel", default="auto",
+                       choices=["auto", "merge", "gallop", "bitset"],
+                       help="set-intersection kernel (auto = adaptive "
+                            "dispatch by size ratio and density)")
         p.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="wall-clock budget in seconds; the run returns "
                             "a flagged partial answer instead of hanging")

@@ -56,6 +56,10 @@ class CECI:
         self.nte_sets: Optional[List[Dict[int, Dict[int, frozenset]]]] = None
         #: Set views of the TE value lists (also built by :meth:`freeze`).
         self.te_sets: Optional[List[Dict[int, frozenset]]] = None
+        #: False for a TE-only index (CFLMatch's CPI shape, built with
+        #: ``build_nte=False``): intersection-based enumeration then
+        #: falls back to data adjacency lists for non-tree edges.
+        self.nte_built: bool = True
 
     # ------------------------------------------------------------------
     # Mutation helpers shared by filtering and refinement
@@ -209,15 +213,25 @@ def intersect_sorted(lists: List[List[int]]) -> List[int]:
     The shortest list drives the probe loop; the others are scanned with a
     resumable ``bisect`` pointer each.  This is the enumeration primitive
     the paper contrasts with per-edge verification (Lemma 2).
+
+    Kept as the stable historical entry point; the adaptive kernel suite
+    in :mod:`repro.kernels` supersedes it on the enumeration hot path.
+    Only *indices* are ordered by length — the caller's list-of-lists is
+    never rebound or reordered — and when the kernels' debug mode is on
+    (:func:`repro.kernels.set_check_sorted`) unsorted inputs raise.
     """
     import bisect
 
+    from ..kernels import maybe_assert_sorted
+
+    maybe_assert_sorted(lists)
     if not lists:
         return []
     if len(lists) == 1:
         return list(lists[0])
-    lists = sorted(lists, key=len)
-    smallest, rest = lists[0], lists[1:]
+    order = sorted(range(len(lists)), key=lambda i: len(lists[i]))
+    smallest = lists[order[0]]
+    rest = [lists[i] for i in order[1:]]
     pointers = [0] * len(rest)
     out: List[int] = []
     for v in smallest:

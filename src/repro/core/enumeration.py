@@ -18,6 +18,15 @@ TurboIso/CFLMatch-style indexes need (Lemma 2); the
 ``use_intersection=False`` mode re-enables edge verification for the
 Section 4.1 ablation.
 
+Intersections run through the adaptive kernel suite
+(:mod:`repro.kernels`): merge / gallop / bitset picked per call by size
+ratio and density (or forced via ``kernel=``), with results memoised in
+a bounded memo cache keyed on ``(query vertex, parent candidate, NTE
+candidate tuple)`` — sibling subtrees repeat exactly those
+intersections.  On a TE-only index (CFLMatch's CPI) intersection mode
+substitutes the data adjacency list of each matched NTE parent for the
+missing NTE candidate list, which yields the identical result set.
+
 A call of the recursive routine is counted per extension, matching the
 paper's search-space proxy ("a new recursive call ... every time an
 intermediate match is expanded by one tree-edge", Section 6.6).
@@ -27,9 +36,15 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple
 
+from ..kernels import (
+    DEFAULT_CACHE_SIZE,
+    KERNEL_CHOICES,
+    IntersectionCache,
+    dispatch,
+)
 from ..resilience.budget import Budget, BudgetExhausted, BudgetTracker
 from .automorphism import SymmetryBreaker
-from .ceci import CECI, intersect_sorted
+from .ceci import CECI
 from .stats import MatchStats
 
 __all__ = ["Enumerator", "Embedding"]
@@ -64,6 +79,11 @@ class Enumerator:
         A pre-started :class:`BudgetTracker` to enforce instead of
         ``budget`` (the matcher passes one whose clock already covers
         index construction).
+    kernel:
+        Intersection kernel: ``"auto"`` (adaptive dispatch, default),
+        ``"merge"``, ``"gallop"`` or ``"bitset"``.
+    cache_size:
+        Entry bound of the TE∩NTE memo cache; ``0`` disables caching.
     """
 
     def __init__(
@@ -74,12 +94,25 @@ class Enumerator:
         stats: Optional[MatchStats] = None,
         budget: Optional[Budget] = None,
         tracker: Optional[BudgetTracker] = None,
+        kernel: str = "auto",
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown intersection kernel {kernel!r}; "
+                f"expected one of {KERNEL_CHOICES}"
+            )
         self.ceci = ceci
         self.tree = ceci.tree
         self.symmetry = symmetry or SymmetryBreaker(ceci.tree.query)
         self.use_intersection = use_intersection
         self.stats = stats if stats is not None else MatchStats()
+        self.kernel = kernel
+        self._cache = (
+            IntersectionCache(cache_size, stats=self.stats)
+            if cache_size > 0
+            else None
+        )
         if tracker is None and budget is not None and not budget.unlimited:
             tracker = budget.tracker()
         self._tracker = tracker
@@ -330,55 +363,39 @@ class Enumerator:
         if not nte_parents:
             return base
         if self.use_intersection:
-            self.stats.intersections += 1
-            if ceci.nte_sets is not None:
-                # Frozen index: iterate the SMALLEST side (candidate
-                # lists at power-law hubs dwarf their NTE counterparts,
-                # and vice versa) and probe the others' set views.
-                sets = []
-                smallest_list = None
-                smallest_set = None
-                smallest_len = len(base)
-                for u_n in nte_parents:
-                    groups = ceci.nte[u].get(u_n)
-                    if not groups:
-                        return []
-                    v_n = mapping[u_n]
-                    members = ceci.nte_sets[u][u_n].get(v_n)
-                    if not members:
-                        return []
-                    sets.append(members)
-                    if len(members) < smallest_len:
-                        smallest_len = len(members)
-                        smallest_list = groups[v_n]
-                        smallest_set = members
-                if smallest_list is None:
-                    # TE list is smallest: probe it against the NTE sets.
-                    if len(sets) == 1:
-                        only = sets[0]
-                        return [v for v in base if v in only]
-                    s0, rest = sets[0], sets[1:]
-                    return [
-                        v for v in base
-                        if v in s0 and all(v in s for s in rest)
-                    ]
-                # An NTE list is smallest: probe it against the TE set
-                # view and the remaining NTE sets.
-                te_set = ceci.te_sets[u][v_p]
-                rest = [s for s in sets if s is not smallest_set]
-                if not rest:
-                    return [v for v in smallest_list if v in te_set]
-                return [
-                    v for v in smallest_list
-                    if v in te_set and all(v in s for s in rest)
-                ]
+            stats = self.stats
+            stats.intersections += 1
+            cache = self._cache
+            if cache is not None:
+                # Single NTE parent is the common case: key on the bare
+                # candidate instead of a 1-tuple to keep hashing cheap.
+                if len(nte_parents) == 1:
+                    key = (u, v_p, mapping[nte_parents[0]])
+                else:
+                    key = (u, v_p, tuple(mapping[u_n] for u_n in nte_parents))
+                cached = cache.get(key)
+                if cached is not None:
+                    return cached
             lists = [base]
+            adjacency_mode = not ceci.nte_built
             for u_n in nte_parents:
-                other = ceci.nte[u].get(u_n, {}).get(mapping[u_n])
+                if adjacency_mode:
+                    # TE-only index (CPI shape): the NTE constraint is
+                    # "adjacent to the NTE parent's match", so the sorted
+                    # adjacency list is the candidate list.
+                    other = ceci.data.neighbors(mapping[u_n])
+                else:
+                    other = ceci.nte[u].get(u_n, {}).get(mapping[u_n])
                 if not other:
+                    if cache is not None:
+                        cache.put(key, [])
                     return []
                 lists.append(other)
-            return intersect_sorted(lists)
+            name, result = dispatch(lists, self.kernel)
+            stats.count_kernel(name)
+            if cache is not None:
+                cache.put(key, result)
+            return result
         # Edge-verification mode (CFLMatch/TurboIso regime): each
         # non-tree edge is checked by binary search on the sorted
         # adjacency list — the paper's cost model (Section 4.1).  The

@@ -86,6 +86,7 @@ def build_ceci(
     for u in tree.order[1:]:
         _expand_tree_edge(ceci, u, stats, config)
 
+    ceci.nte_built = build_nte
     if build_nte:
         for u_n, u in tree.non_tree_edges:
             _expand_non_tree_edge(ceci, u_n, u)

@@ -14,6 +14,7 @@ import time
 from typing import Iterator, List, Optional, Sequence
 
 from ..graph import Graph
+from ..kernels import DEFAULT_CACHE_SIZE, KERNEL_CHOICES
 from ..resilience.budget import (
     Budget,
     BudgetExhausted,
@@ -47,6 +48,9 @@ class CECIMatcher:
     * ``use_refinement`` — Algorithm 2 (off = only BFS filtering);
     * ``use_intersection`` — Section 4 intersection-based enumeration
       (off = per-edge verification);
+    * ``kernel`` — intersection kernel (``"auto"`` adaptive dispatch,
+      or force ``"merge"`` / ``"gallop"`` / ``"bitset"``);
+    * ``cache_size`` — TE∩NTE memo-cache entry bound (``0`` disables);
     * ``budget`` — optional :class:`~repro.resilience.budget.Budget`
       capping the run (deadline / calls / embeddings / memory); use
       :meth:`run` to get the explicit ``truncated`` flag.
@@ -64,16 +68,25 @@ class CECIMatcher:
         use_refinement: bool = True,
         use_intersection: bool = True,
         budget: Optional[Budget] = None,
+        kernel: str = "auto",
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         if query.num_vertices == 0:
             raise ValueError("query graph is empty")
         if not query.is_connected():
             raise ValueError("query graph must be connected")
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                f"unknown intersection kernel {kernel!r}; "
+                f"expected one of {KERNEL_CHOICES}"
+            )
         self.query = query
         self.data = data
         self.order_strategy = order_strategy
         self.use_refinement = use_refinement
         self.use_intersection = use_intersection
+        self.kernel = kernel
+        self.cache_size = cache_size
         self.filter_config = FilterConfig(
             use_degree_filter=use_degree_filter,
             use_nlc_filter=use_nlc_filter,
@@ -119,7 +132,7 @@ class CECIMatcher:
 
         started = time.perf_counter()
         if self.use_refinement:
-            refine_ceci(ceci, self.stats)
+            refine_ceci(ceci, self.stats, kernel=self.kernel)
         else:
             _assign_uniform_cardinality(ceci)
         ceci.freeze()
@@ -147,6 +160,8 @@ class CECIMatcher:
             stats=self.stats,
             budget=self.budget,
             tracker=tracker,
+            kernel=self.kernel,
+            cache_size=self.cache_size,
         )
 
     # ------------------------------------------------------------------

@@ -23,27 +23,44 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..kernels import dispatch
 from .ceci import CECI
 from .stats import MatchStats
 
 __all__ = ["refine_ceci"]
 
 
-def refine_ceci(ceci: CECI, stats: Optional[MatchStats] = None) -> CECI:
-    """Run Algorithm 2 in place and return the same (now refined) CECI."""
+def refine_ceci(
+    ceci: CECI, stats: Optional[MatchStats] = None, kernel: str = "auto"
+) -> CECI:
+    """Run Algorithm 2 in place and return the same (now refined) CECI.
+
+    The NTE membership constraint (lines 4-6) is evaluated as one k-way
+    sorted intersection per query vertex — the candidate list against
+    every NTE member list — through the adaptive kernel suite
+    (``kernel`` as in :class:`~repro.core.enumeration.Enumerator`).
+    """
     stats = stats if stats is not None else MatchStats()
     tree = ceci.tree
     for u in tree.reverse_order():
         # In a TE-only index (CFLMatch's CPI shape) the NTE groups were
         # never built; only constrain against groups that exist.
-        nte_members = [
-            ceci.nte_member_set(u, u_n)
+        member_lists = [
+            sorted(ceci.nte_member_set(u, u_n))
             for u_n in tree.nte_parents[u]
             if u_n in ceci.nte[u]
         ]
+        if member_lists:
+            name, alive = dispatch(
+                [sorted(ceci.cand[u])] + member_lists, kernel
+            )
+            stats.count_kernel(name)
+            survivors: Optional[set] = set(alive)
+        else:
+            survivors = None
         doomed = []
         for v in ceci.cand[u]:
-            cardinality = _cardinality_of(ceci, u, v, nte_members)
+            cardinality = _cardinality_of(ceci, u, v, survivors)
             if cardinality == 0:
                 doomed.append(v)
             else:
@@ -55,11 +72,12 @@ def refine_ceci(ceci: CECI, stats: Optional[MatchStats] = None) -> CECI:
     return ceci
 
 
-def _cardinality_of(ceci, u, v, nte_members) -> int:
-    """Cardinality of pair ``(u, v)`` given precomputed NTE member sets."""
-    for members in nte_members:
-        if v not in members:
-            return 0
+def _cardinality_of(ceci, u, v, survivors) -> int:
+    """Cardinality of pair ``(u, v)``; ``survivors`` is the intersection
+    of the candidate set with every NTE member list (``None`` when the
+    vertex has no built NTE groups)."""
+    if survivors is not None and v not in survivors:
+        return 0
     # Children "including non tree edge neighbors" (Algorithm 2 line 10):
     # matching v to u must leave at least one live candidate across every
     # outgoing non-tree edge.  NTE children sit later in the matching

@@ -30,6 +30,16 @@ class MatchStats:
     intersections: int = 0
     edge_verifications: int = 0
 
+    # --- intersection kernels & candidate cache --------------------------
+    #: Intersections executed by each kernel (adaptive dispatch or forced).
+    kernel_merge_calls: int = 0
+    kernel_gallop_calls: int = 0
+    kernel_bitset_calls: int = 0
+    #: Memo-cache outcomes for TE∩NTE intersections (see DESIGN.md §7).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+
     # --- filtering / refinement ----------------------------------------
     candidates_initial: int = 0
     removed_by_label: int = 0
@@ -80,6 +90,16 @@ class MatchStats:
             return 0.0
         return 100.0 * (1.0 - self.index_bytes / theoretical)
 
+    def count_kernel(self, name: str) -> None:
+        """Record one intersection executed by kernel ``name`` (the
+        dispatcher's ``"trivial"`` passthrough is not counted)."""
+        if name == "merge":
+            self.kernel_merge_calls += 1
+        elif name == "gallop":
+            self.kernel_gallop_calls += 1
+        elif name == "bitset":
+            self.kernel_bitset_calls += 1
+
     def add_phase(self, phase: str, seconds: float) -> None:
         """Accumulate wall-clock time into a named phase."""
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
@@ -90,6 +110,12 @@ class MatchStats:
         self.embeddings_found += other.embeddings_found
         self.intersections += other.intersections
         self.edge_verifications += other.edge_verifications
+        self.kernel_merge_calls += other.kernel_merge_calls
+        self.kernel_gallop_calls += other.kernel_gallop_calls
+        self.kernel_bitset_calls += other.kernel_bitset_calls
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.candidates_initial += other.candidates_initial
         self.removed_by_label += other.removed_by_label
         self.removed_by_degree += other.removed_by_degree

@@ -1,0 +1,48 @@
+"""Adaptive sorted-set intersection kernels and candidate caching.
+
+The k-way intersection of TE/NTE candidate lists is the enumeration
+primitive of CECI (Lemma 2).  This subpackage provides three
+interchangeable kernels — linear merge, galloping search, and bitset —
+behind an adaptive dispatcher that picks by size ratio and density, plus
+a bounded memo cache for intersections repeated across sibling subtrees.
+See DESIGN.md §7 for the dispatch rules and cache policy.
+"""
+
+from .cache import DEFAULT_CACHE_SIZE, IntersectionCache
+from .intersect import (
+    BITSET_MAX_SPAN,
+    BITSET_MIN_DENSITY,
+    BITSET_MIN_SHORTEST,
+    GALLOP_RATIO,
+    KERNEL_CHOICES,
+    KERNEL_NAMES,
+    choose_kernel,
+    dispatch,
+    intersect,
+    intersect_bitset,
+    intersect_gallop,
+    intersect_merge,
+    maybe_assert_sorted,
+    set_check_sorted,
+    sorted_checks_enabled,
+)
+
+__all__ = [
+    "BITSET_MAX_SPAN",
+    "BITSET_MIN_DENSITY",
+    "BITSET_MIN_SHORTEST",
+    "DEFAULT_CACHE_SIZE",
+    "GALLOP_RATIO",
+    "IntersectionCache",
+    "KERNEL_CHOICES",
+    "KERNEL_NAMES",
+    "choose_kernel",
+    "dispatch",
+    "intersect",
+    "intersect_bitset",
+    "intersect_gallop",
+    "intersect_merge",
+    "maybe_assert_sorted",
+    "set_check_sorted",
+    "sorted_checks_enabled",
+]

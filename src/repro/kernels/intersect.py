@@ -1,0 +1,390 @@
+"""Sorted-set intersection kernels (k-way, strictly increasing inputs).
+
+Three interchangeable kernels plus an adaptive dispatcher:
+
+* :func:`intersect_merge` — k-way linear merge.  Cost ``O(Σ|L_i|)``;
+  optimal when the lists are of comparable length, because every element
+  is visited once with no search overhead.
+* :func:`intersect_gallop` — the shortest list drives; each other list
+  is probed with exponential (galloping) search from a resumable
+  pointer.  Cost ``O(|L_min| · Σ log(gap_i))``; the kernel of choice for
+  skewed size ratios (a 50-element NTE list against a 50 000-element hub
+  candidate list), where merge would walk the long list end to end.
+* :func:`intersect_bitset` — lists are rasterised into boolean masks
+  over the shared value span and combined word-parallel (numpy when
+  available — it is a declared dependency — else big-int ``&``).  Cost
+  ``O(Σ|L_i| + span/8)``; wins on dense candidate domains (small label
+  classes after filtering, where the lists cover much of a small span).
+
+All kernels require each input list to be **strictly increasing** — the
+invariant CECI maintains for candidate lists and adjacency tuples.  The
+module-level sorted-input check (:func:`set_check_sorted`, or the
+``REPRO_CHECK_SORTED`` environment variable) makes every kernel assert
+that invariant, at ``O(Σ|L_i|)`` per call; it is off by default so the
+hot path pays nothing.
+
+The dispatcher (:func:`choose_kernel` / :func:`dispatch`) inspects only
+list lengths and endpoint values — O(k) — so adaptivity is effectively
+free next to the intersection itself.
+"""
+
+from __future__ import annotations
+
+import os
+from bisect import bisect_left
+from typing import Callable, Dict, List, Sequence, Tuple
+
+try:  # numpy is a declared dependency, but the kernels degrade gracefully
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+__all__ = [
+    "KERNEL_NAMES",
+    "KERNEL_CHOICES",
+    "GALLOP_RATIO",
+    "BITSET_MAX_SPAN",
+    "BITSET_MIN_DENSITY",
+    "BITSET_MIN_SHORTEST",
+    "choose_kernel",
+    "dispatch",
+    "intersect",
+    "intersect_merge",
+    "intersect_gallop",
+    "intersect_bitset",
+    "maybe_assert_sorted",
+    "set_check_sorted",
+    "sorted_checks_enabled",
+]
+
+SortedList = Sequence[int]
+
+#: The real kernels, in dispatch-priority order.
+KERNEL_NAMES: Tuple[str, ...] = ("merge", "gallop", "bitset")
+#: What callers may ask for (``auto`` = adaptive dispatch).
+KERNEL_CHOICES: Tuple[str, ...] = ("auto",) + KERNEL_NAMES
+
+#: Dispatch to galloping when the longest list is at least this many
+#: times the shortest — below that, merge's branch-free scan wins.
+GALLOP_RATIO = 8
+#: Never rasterise a span wider than this into a bitset (memory bound:
+#: 64 KiB span -> 8 KiB masks).
+BITSET_MAX_SPAN = 1 << 16
+#: Bitset needs the *shortest* list to cover at least this fraction of
+#: the shared span, otherwise the masks are mostly zeros and merge or
+#: gallop touches far fewer words (measured crossover ~1/16; 1/8 keeps
+#: a safety margin for the rasterisation cost).
+BITSET_MIN_DENSITY = 1 / 8
+#: ...and at least this many elements: rasterisation has a fixed setup
+#: cost (mask allocation, array conversion) that merge undercuts on
+#: small lists regardless of density (measured crossover ~300 elements).
+BITSET_MIN_SHORTEST = 256
+
+_check_sorted = os.environ.get("REPRO_CHECK_SORTED", "") not in ("", "0")
+
+
+def set_check_sorted(enabled: bool) -> None:
+    """Globally enable/disable the debug sorted-input assertion."""
+    global _check_sorted
+    _check_sorted = bool(enabled)
+
+
+def sorted_checks_enabled() -> bool:
+    """Whether kernels currently assert their inputs are sorted."""
+    return _check_sorted
+
+
+def maybe_assert_sorted(lists: Sequence[SortedList]) -> None:
+    """Debug-mode guard: raise ``AssertionError`` on a non-strictly-
+    increasing input list when checks are enabled; no-op otherwise."""
+    if not _check_sorted:
+        return
+    for values in lists:
+        for i in range(1, len(values)):
+            if values[i - 1] >= values[i]:
+                raise AssertionError(
+                    f"intersection input not strictly increasing at "
+                    f"position {i}: {values[i - 1]!r} >= {values[i]!r}"
+                )
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def _merge_pair(a: SortedList, b: SortedList) -> List[int]:
+    """Two-pointer linear merge intersection of two sorted lists."""
+    out: List[int] = []
+    append = out.append
+    i = j = 0
+    na, nb = len(a), len(b)
+    while i < na and j < nb:
+        x = a[i]
+        y = b[j]
+        if x == y:
+            append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+def intersect_merge(lists: Sequence[SortedList]) -> List[int]:
+    """k-way intersection by iterated two-pointer merge, shortest lists
+    first so the running result shrinks as early as possible."""
+    maybe_assert_sorted(lists)
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return list(lists[0])
+    if len(lists) == 2:
+        a, b = lists
+        return _merge_pair(a, b) if len(a) <= len(b) else _merge_pair(b, a)
+    order = sorted(range(len(lists)), key=lambda i: len(lists[i]))
+    result = list(lists[order[0]])
+    for i in order[1:]:
+        if not result:
+            return result
+        result = _merge_pair(result, lists[i])
+    return result
+
+
+def _gallop_to(values: SortedList, target: int, lo: int, hi: int) -> int:
+    """Leftmost index in ``values[lo:hi]`` whose element is >= ``target``,
+    found by exponential probing followed by a bounded binary search."""
+    if lo >= hi or values[lo] >= target:
+        return lo
+    # values[lo] < target: gallop the bound outward.
+    step = 1
+    prev = lo
+    probe = lo + 1
+    while probe < hi and values[probe] < target:
+        prev = probe
+        step <<= 1
+        probe = lo + step
+    return bisect_left(values, target, prev + 1, min(probe, hi))
+
+
+def intersect_gallop(lists: Sequence[SortedList]) -> List[int]:
+    """k-way intersection with the shortest list driving and galloping
+    probes (resumable pointers) into the others."""
+    maybe_assert_sorted(lists)
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return list(lists[0])
+    if len(lists) == 2:
+        a, b = lists
+        if len(a) > len(b):
+            a, b = b, a
+        out: List[int] = []
+        append = out.append
+        j = 0
+        nb = len(b)
+        for v in a:
+            j = _gallop_to(b, v, j, nb)
+            if j >= nb:
+                return out
+            if b[j] == v:
+                append(v)
+        return out
+    order = sorted(range(len(lists)), key=lambda i: len(lists[i]))
+    smallest = lists[order[0]]
+    rest = [lists[i] for i in order[1:]]
+    pointers = [0] * len(rest)
+    lengths = [len(values) for values in rest]
+    out: List[int] = []
+    append = out.append
+    for v in smallest:
+        keep = True
+        for i, other in enumerate(rest):
+            j = _gallop_to(other, v, pointers[i], lengths[i])
+            pointers[i] = j
+            if j >= lengths[i] or other[j] != v:
+                keep = False
+                if j >= lengths[i]:
+                    return out  # a probe list is exhausted: done
+                break
+        if keep:
+            append(v)
+    return out
+
+
+#: ``_BYTE_BITS[b]`` — the set bit offsets of byte value ``b``; decodes
+#: an intersection mask byte-at-a-time instead of bit-at-a-time.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple(bit for bit in range(8) if byte >> bit & 1) for byte in range(256)
+)
+
+
+def intersect_bitset(lists: Sequence[SortedList]) -> List[int]:
+    """k-way intersection through bit masks over the shared value span.
+
+    Each list is rasterised into a boolean mask (one bit per value in
+    ``[lo, hi]``, where the window is the intersection of the lists'
+    value ranges), the masks are AND-ed word-parallel, and the surviving
+    positions are decoded.  Values outside the window can't be in the
+    intersection and are skipped during rasterisation.  With numpy
+    (a declared dependency) rasterise/AND/decode all run at C speed;
+    without it a bytearray/big-int fallback keeps the kernel available.
+    """
+    maybe_assert_sorted(lists)
+    if not lists:
+        return []
+    if len(lists) == 1:
+        return list(lists[0])
+    if any(not values for values in lists):
+        return []
+    lo = max(values[0] for values in lists)
+    hi = min(values[-1] for values in lists)
+    if lo > hi:
+        return []
+    span = hi - lo + 1
+    if _np is not None:
+        acc = None
+        for values in lists:
+            arr = _np.asarray(values, dtype=_np.int64)
+            arr = arr[(arr >= lo) & (arr <= hi)] - lo
+            mask = _np.zeros(span, dtype=bool)
+            mask[arr] = True
+            acc = mask if acc is None else acc & mask
+            if not acc.any():
+                return []
+        return (_np.flatnonzero(acc) + lo).tolist()
+    nbytes = (span + 7) >> 3
+    acc = -1  # all-ones sentinel; first mask replaces it via &
+    for values in lists:
+        bits = bytearray(nbytes)
+        start = bisect_left(values, lo)
+        for k in range(start, len(values)):
+            v = values[k]
+            if v > hi:
+                break
+            offset = v - lo
+            bits[offset >> 3] |= 1 << (offset & 7)
+        acc &= int.from_bytes(bits, "little")
+        if not acc:
+            return []
+    out: List[int] = []
+    append = out.append
+    byte_bits = _BYTE_BITS
+    for byte_index, byte in enumerate(acc.to_bytes(nbytes, "little")):
+        if byte:
+            base = lo + (byte_index << 3)
+            for bit in byte_bits[byte]:
+                append(base + bit)
+    return out
+
+
+_KERNELS: Dict[str, Callable[[Sequence[SortedList]], List[int]]] = {
+    "merge": intersect_merge,
+    "gallop": intersect_gallop,
+    "bitset": intersect_bitset,
+}
+
+
+# ----------------------------------------------------------------------
+# Adaptive dispatch
+# ----------------------------------------------------------------------
+def choose_kernel(lists: Sequence[SortedList]) -> str:
+    """Pick a kernel for ``lists`` (>= 2 non-empty sorted lists).
+
+    Rules, in order (see DESIGN.md §7):
+
+    1. longest/shortest >= ``GALLOP_RATIO`` → ``gallop`` (skewed sizes:
+       driving the short list skips most of the long one);
+    2. shortest list >= ``BITSET_MIN_SHORTEST`` elements, shared span <=
+       ``BITSET_MAX_SPAN`` and the shortest list covers >=
+       ``BITSET_MIN_DENSITY`` of it → ``bitset`` (dense domain:
+       word-parallel AND beats element-at-a-time compares);
+    3. otherwise → ``merge``.
+    """
+    shortest = longest = len(lists[0])
+    for values in lists[1:]:
+        n = len(values)
+        if n < shortest:
+            shortest = n
+        elif n > longest:
+            longest = n
+    if longest >= GALLOP_RATIO * shortest:
+        return "gallop"
+    if shortest >= BITSET_MIN_SHORTEST:
+        lo = max(values[0] for values in lists)
+        hi = min(values[-1] for values in lists)
+        span = hi - lo + 1
+        if 0 < span <= BITSET_MAX_SPAN and (
+            shortest >= span * BITSET_MIN_DENSITY
+        ):
+            return "bitset"
+    return "merge"
+
+
+def dispatch(
+    lists: Sequence[SortedList], kernel: str = "auto"
+) -> Tuple[str, List[int]]:
+    """Intersect ``lists`` and report which kernel did the work.
+
+    Returns ``(name, result)``; ``name`` is ``"trivial"`` for the cases
+    no kernel ever sees (no lists, a single list, an empty input list),
+    otherwise one of :data:`KERNEL_NAMES`.  ``kernel="auto"`` applies
+    :func:`choose_kernel`; a concrete name forces that kernel.
+
+    The two-list case is enumeration's hot path (one TE list against one
+    NTE list), so it is special-cased to dodge the generic O(k) scans.
+    """
+    if _check_sorted:
+        maybe_assert_sorted(lists)
+    if len(lists) == 2:
+        a, b = lists
+        if not a or not b:
+            return "trivial", []
+        if kernel == "auto":
+            na = len(a)
+            nb = len(b)
+            shortest, longest = (na, nb) if na <= nb else (nb, na)
+            if longest >= GALLOP_RATIO * shortest:
+                name = "gallop"
+            elif shortest >= BITSET_MIN_SHORTEST:
+                lo = a[0] if a[0] > b[0] else b[0]
+                hi = a[-1] if a[-1] < b[-1] else b[-1]
+                span = hi - lo + 1
+                if 0 < span <= BITSET_MAX_SPAN and (
+                    shortest >= span * BITSET_MIN_DENSITY
+                ):
+                    name = "bitset"
+                else:
+                    name = "merge"
+            else:
+                name = "merge"
+        else:
+            name = kernel
+            if name not in _KERNELS:
+                raise ValueError(
+                    f"unknown intersection kernel {kernel!r}; "
+                    f"expected one of {KERNEL_CHOICES}"
+                )
+        return name, _KERNELS[name](lists)
+    if not lists:
+        return "trivial", []
+    if len(lists) == 1:
+        return "trivial", list(lists[0])
+    for values in lists:
+        if not values:
+            return "trivial", []
+    if kernel == "auto":
+        name = choose_kernel(lists)
+    elif kernel in _KERNELS:
+        name = kernel
+    else:
+        raise ValueError(
+            f"unknown intersection kernel {kernel!r}; "
+            f"expected one of {KERNEL_CHOICES}"
+        )
+    return name, _KERNELS[name](lists)
+
+
+def intersect(lists: Sequence[SortedList], kernel: str = "auto") -> List[int]:
+    """Plain intersection result (dispatch without the kernel name)."""
+    return dispatch(lists, kernel)[1]
