@@ -1,0 +1,122 @@
+"""Compact-store micro-benchmark (DESIGN.md §8).
+
+Builds the same CECI twice — once kept as the mutable dict builder,
+once frozen into the flat-array :class:`~repro.core.store.CompactCECI`
+— over several synthetic instances, and reports:
+
+* **footprint** — ``memory_bytes`` per store; the acceptance bar is the
+  compact store at or below half the dict store on every instance (the
+  PR's headline claim);
+* **enumeration throughput** — embeddings/second from each store (same
+  embedding sets, asserted), so a representation-induced slowdown can't
+  sneak in unnoticed.
+
+Results land in ``benchmarks/results/BENCH_store.json``; the CI
+store-bench job re-runs this and fails the build on a footprint
+regression.  Timing is plain ``perf_counter`` best-of-N, so a bare
+``pytest benchmarks/test_store_micro.py`` works without
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro import CECIMatcher, Graph
+from repro.graph import generate_query, inject_labels, power_law
+
+#: Acceptance bar: dict-store bytes / compact-store bytes per instance.
+MIN_MEMORY_RATIO = 2.0
+
+INSTANCES = (
+    {"name": "pl300-q4", "vertices": 300, "labels": 3, "qsize": 4, "seed": 11},
+    {"name": "pl500-q5", "vertices": 500, "labels": 3, "qsize": 5, "seed": 23},
+    {"name": "pl800-q4", "vertices": 800, "labels": 4, "qsize": 4, "seed": 47},
+)
+
+
+def _make_instance(spec) -> tuple:
+    data = inject_labels(
+        power_law(spec["vertices"], 5, seed=spec["seed"],
+                  min_edges_per_vertex=1),
+        spec["labels"],
+        seed=spec["seed"],
+    )
+    query = generate_query(data, spec["qsize"], seed=spec["seed"] * 13 + 1)
+    return query, data
+
+
+def _best_enumeration_seconds(
+    query: Graph, data: Graph, store: str, repeats: int = 3
+) -> tuple:
+    """(best seconds for a full enumeration from a pre-built index,
+    embedding list, built matcher)."""
+    matcher = CECIMatcher(query, data, store=store, use_intersection=True)
+    matcher.build()  # index construction excluded from the timing
+    best = float("inf")
+    embeddings: List = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        embeddings = matcher.match()
+        best = min(best, time.perf_counter() - start)
+    return best, embeddings, matcher
+
+
+def test_store_micro(results_dir):
+    report: Dict = {
+        "generated_by": "benchmarks/test_store_micro.py",
+        "acceptance": {"min_memory_ratio": MIN_MEMORY_RATIO},
+        "instances": [],
+    }
+
+    worst_ratio = float("inf")
+    for spec in INSTANCES:
+        query, data = _make_instance(spec)
+        d_secs, d_embeddings, d_matcher = _best_enumeration_seconds(
+            query, data, "dict"
+        )
+        c_secs, c_embeddings, c_matcher = _best_enumeration_seconds(
+            query, data, "compact"
+        )
+        assert sorted(d_embeddings) == sorted(c_embeddings), spec["name"]
+
+        d_bytes = d_matcher.stats.memory_bytes
+        c_bytes = c_matcher.stats.memory_bytes
+        assert c_bytes > 0, spec["name"]
+        ratio = d_bytes / c_bytes
+        worst_ratio = min(worst_ratio, ratio)
+        count = len(c_embeddings)
+        report["instances"].append({
+            "name": spec["name"],
+            "data_vertices": data.num_vertices,
+            "data_edges": data.num_edges,
+            "query_vertices": query.num_vertices,
+            "embeddings": count,
+            "dict_memory_bytes": d_bytes,
+            "compact_memory_bytes": c_bytes,
+            "memory_ratio": ratio,
+            "dict_enumeration_seconds": d_secs,
+            "compact_enumeration_seconds": c_secs,
+            "dict_embeddings_per_second": count / d_secs if d_secs else 0.0,
+            "compact_embeddings_per_second": count / c_secs if c_secs else 0.0,
+            "throughput_delta": (
+                (d_secs - c_secs) / d_secs if d_secs else 0.0
+            ),
+            "freeze_seconds": c_matcher.stats.phase_seconds.get("freeze", 0.0),
+            "kernel_array_calls": c_matcher.stats.kernel_array_calls,
+        })
+
+    report["acceptance"]["measured_worst_memory_ratio"] = worst_ratio
+
+    path = os.path.join(results_dir, "BENCH_store.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    assert worst_ratio >= MIN_MEMORY_RATIO, (
+        f"compact store only {worst_ratio:.2f}x smaller than the dict "
+        f"store (need >= {MIN_MEMORY_RATIO}x); see {path}"
+    )

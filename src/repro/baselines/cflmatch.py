@@ -24,6 +24,7 @@ from ..core.query_tree import QueryTree
 from ..core.refinement import refine_ceci
 from ..core.root_selection import initial_candidates, select_root
 from ..core.stats import MatchStats
+from ..core.store import STORE_CHOICES
 
 __all__ = ["CFLMatcher", "cflmatch_match", "core_forest_leaf"]
 
@@ -100,15 +101,22 @@ class CFLMatcher:
         stats: Optional[MatchStats] = None,
         use_intersection: bool = False,
         kernel: str = "auto",
+        store: str = "compact",
     ) -> None:
         if not query.is_connected():
             raise ValueError("query graph must be connected")
+        if store not in STORE_CHOICES:
+            raise ValueError(
+                f"unknown index store {store!r}; "
+                f"expected one of {STORE_CHOICES}"
+            )
         self.query = query
         self.data = data
         self.stats = stats if stats is not None else MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
         self.use_intersection = use_intersection
         self.kernel = kernel
+        self.store = store
         self._enumerator: Optional[Enumerator] = None
 
     def _build(self) -> Enumerator:
@@ -121,6 +129,11 @@ class CFLMatcher:
             tree, self.data, pivots, self.stats, build_nte=False
         )
         refine_ceci(cpi, self.stats, kernel=self.kernel)
+        if self.store == "compact":
+            # The CPI freezes to the same flat layout (TE triples only;
+            # ``nte_built=False`` keeps adjacency-fallback enumeration).
+            cpi = cpi.compact()
+        self.stats.memory_bytes = cpi.memory_bytes()
         self._enumerator = Enumerator(
             cpi,
             symmetry=self.symmetry,
@@ -153,6 +166,7 @@ def cflmatch_match(
     break_automorphisms: bool = True,
     use_intersection: bool = False,
     kernel: str = "auto",
+    store: str = "compact",
 ) -> List[Tuple[int, ...]]:
     """Functional one-shot wrapper."""
     return CFLMatcher(
@@ -161,4 +175,5 @@ def cflmatch_match(
         break_automorphisms,
         use_intersection=use_intersection,
         kernel=kernel,
+        store=store,
     ).match(limit)

@@ -4,6 +4,7 @@
 
     python -m repro match    QUERY DATA [--limit N] [--order bfs] [--all-autos]
                                         [--kernel {auto,merge,gallop,bitset}]
+                                        [--store {dict,compact}]
                                         [--timeout S] [--max-calls N]
                                         [--workers K] [--inject-faults SEED]
     python -m repro count    QUERY DATA [--limit N] [...same flags]
@@ -19,6 +20,9 @@ read as a SNAP edge list.
 ``--kernel`` selects the set-intersection kernel (default ``auto`` —
 adaptive dispatch by size ratio and density; see DESIGN.md §7); kernel
 and cache counters are reported on stderr and in ``stats`` JSON.
+``--store`` selects the runtime index representation (default
+``compact`` — the dict builder is frozen into flat sorted int64 arrays
+after refinement; ``dict`` keeps the mutable builder; see DESIGN.md §8).
 ``--timeout`` / ``--max-calls`` cap the run with a
 :class:`~repro.resilience.budget.Budget`; a truncated run prints a
 ``# truncated: <axis>`` line on stderr instead of hanging.
@@ -80,6 +84,7 @@ def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
         break_automorphisms=not args.all_autos,
         budget=_budget_from(args),
         kernel=getattr(args, "kernel", "auto"),
+        store=getattr(args, "store", "compact"),
     )
 
 
@@ -88,7 +93,8 @@ def _print_kernel_stats(stats) -> None:
     print(
         f"# kernels: merge={stats.kernel_merge_calls} "
         f"gallop={stats.kernel_gallop_calls} "
-        f"bitset={stats.kernel_bitset_calls} | "
+        f"bitset={stats.kernel_bitset_calls} "
+        f"array={stats.kernel_array_calls} | "
         f"cache: {stats.cache_hits} hits / {stats.cache_misses} misses / "
         f"{stats.cache_evictions} evictions",
         file=sys.stderr,
@@ -192,6 +198,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "merge": stats.kernel_merge_calls,
             "gallop": stats.kernel_gallop_calls,
             "bitset": stats.kernel_bitset_calls,
+            "array": stats.kernel_array_calls,
         },
         "cache": {
             "hits": stats.cache_hits,
@@ -207,6 +214,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             "refinement": stats.removed_by_refinement,
         },
         "index_bytes": stats.index_bytes,
+        "memory_bytes": stats.memory_bytes,
+        "store": matcher.store,
         "theoretical_bytes": stats.theoretical_bytes(
             query.num_edges, data.num_edges
         ),
@@ -259,6 +268,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=["auto", "merge", "gallop", "bitset"],
                        help="set-intersection kernel (auto = adaptive "
                             "dispatch by size ratio and density)")
+        p.add_argument("--store", default="compact",
+                       choices=["dict", "compact"],
+                       help="runtime index representation (compact = "
+                            "freeze the index into flat sorted arrays "
+                            "after refinement; dict = keep the mutable "
+                            "builder)")
         p.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="wall-clock budget in seconds; the run returns "
                             "a flagged partial answer instead of hanging")

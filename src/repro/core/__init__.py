@@ -20,14 +20,25 @@ from .matching_order import (
     path_ranked_order,
 )
 from .query_tree import QueryTree
-from .persist import dump_ceci_bytes, load_ceci, load_ceci_bytes, save_ceci
+from .persist import (
+    dump_ceci_bytes,
+    dump_store_bytes,
+    load_ceci,
+    load_ceci_bytes,
+    load_store_bytes,
+    save_ceci,
+)
 from .refinement import refine_ceci
 from .root_selection import initial_candidates, select_root
 from .stats import MatchStats
+from .store import STORE_CHOICES, CECIStore, CompactCECI
 
 __all__ = [
     "CECI",
     "CECIMatcher",
+    "CECIStore",
+    "CompactCECI",
+    "STORE_CHOICES",
     "GraphDatabase",
     "EstimateResult",
     "ContainmentResult",
@@ -48,6 +59,7 @@ __all__ = [
     "edge_ranked_order",
     "equivalence_groups",
     "dump_ceci_bytes",
+    "dump_store_bytes",
     "estimate_embeddings",
     "find_embedding",
     "gk_conditions",
@@ -55,6 +67,7 @@ __all__ = [
     "intersect_sorted",
     "load_ceci",
     "load_ceci_bytes",
+    "load_store_bytes",
     "make_order",
     "match",
     "path_ranked_order",

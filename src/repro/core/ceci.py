@@ -18,16 +18,32 @@ binary search / ``lower_bound`` for the same reason.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Set, Tuple
+import sys
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..graph import Graph
 from .query_tree import QueryTree
 from .stats import MatchStats
 
+if TYPE_CHECKING:  # pragma: no cover - import for annotations only
+    from .store import CompactCECI
+
 __all__ = ["CECI", "intersect_sorted"]
 
 TECandidates = Dict[int, List[int]]
 NTECandidates = Dict[int, Dict[int, List[int]]]
+
+#: Shared empty sequence returned by the store accessors for missing keys.
+_EMPTY: Tuple[int, ...] = ()
 
 
 class CECI:
@@ -38,8 +54,11 @@ class CECI:
         self.data = data
         n = tree.query.num_vertices
         #: Pivot vertices — candidates of the root query vertex; each
-        #: identifies one embedding cluster.
-        self.pivots: List[int] = []
+        #: identifies one embedding cluster.  Backed by a mirror set
+        #: (``_pivot_set``) so cascade deletes are O(1); the sorted list
+        #: view is rebuilt lazily on read.
+        self._pivot_set: Set[int] = set()
+        self._pivot_sorted: Optional[List[int]] = None
         #: ``te[u][v_p]`` — sorted candidates of ``u`` adjacent to parent
         #: candidate ``v_p``.  Empty dict for the root.
         self.te: List[TECandidates] = [dict() for _ in range(n)]
@@ -62,6 +81,23 @@ class CECI:
         self.nte_built: bool = True
 
     # ------------------------------------------------------------------
+    # Pivots (sorted view over an O(1)-delete mirror set)
+    # ------------------------------------------------------------------
+    @property
+    def pivots(self) -> List[int]:
+        """Sorted pivot list, rebuilt lazily after mutation.  Treat the
+        returned list as read-only; assign to ``pivots`` (or go through
+        :meth:`remove_candidate`) to mutate."""
+        if self._pivot_sorted is None:
+            self._pivot_sorted = sorted(self._pivot_set)
+        return self._pivot_sorted
+
+    @pivots.setter
+    def pivots(self, values: Iterable[int]) -> None:
+        self._pivot_set = set(values)
+        self._pivot_sorted = None
+
+    # ------------------------------------------------------------------
     # Mutation helpers shared by filtering and refinement
     # ------------------------------------------------------------------
     def remove_candidate(self, u: int, v: int) -> None:
@@ -73,11 +109,9 @@ class CECI:
         self.te_sets = None
         self.cand[u].discard(v)
         self.cardinality[u].pop(v, None)
-        if u == self.tree.root:
-            try:
-                self.pivots.remove(v)
-            except ValueError:
-                pass
+        if u == self.tree.root and v in self._pivot_set:
+            self._pivot_set.discard(v)
+            self._pivot_sorted = None
         for values in self.te[u].values():
             _remove_sorted(values, v)
         for groups in self.nte[u].values():
@@ -114,6 +148,57 @@ class CECI:
         ]
 
     # ------------------------------------------------------------------
+    # CECIStore accessors — the read interface shared with CompactCECI
+    # so enumeration / clusters / estimation run against either
+    # representation (see repro.core.store).
+    # ------------------------------------------------------------------
+    def te_values(self, u: int, v_p: int) -> Sequence[int]:
+        """Sorted TE candidates of ``u`` under parent candidate ``v_p``
+        (empty sequence when ``v_p`` keys nothing)."""
+        return self.te[u].get(v_p, _EMPTY)
+
+    def nte_values(self, u: int, u_n: int, v_n: int) -> Sequence[int]:
+        """Sorted NTE candidates of ``u`` under NTE parent ``u_n``'s
+        candidate ``v_n`` (empty sequence when unkeyed)."""
+        groups = self.nte[u].get(u_n)
+        if groups is None:
+            return _EMPTY
+        return groups.get(v_n, _EMPTY)
+
+    def cardinality_of(self, u: int, v: int) -> int:
+        """Refinement cardinality of the pair ``u -> v`` (0 if pruned)."""
+        return self.cardinality[u].get(v, 0)
+
+    def memory_bytes(self) -> int:
+        """Resident-size model of the index payload: ``sys.getsizeof``
+        for every container plus the boxed-int cost of each stored key
+        and value.  :meth:`CompactCECI.memory_bytes` counts raw array
+        bytes for the same payload; the ratio between the two is the
+        footprint delta reported in ``BENCH_store.json``."""
+        int_size = sys.getsizeof(1 << 30)  # a boxed int of typical magnitude
+        total = sys.getsizeof(self._pivot_set) + int_size * len(self._pivot_set)
+        for per_node in self.te:
+            total += sys.getsizeof(per_node)
+            for values in per_node.values():
+                total += sys.getsizeof(values) + int_size * (len(values) + 1)
+        for per_node in self.nte:
+            total += sys.getsizeof(per_node)
+            for groups in per_node.values():
+                total += sys.getsizeof(groups)
+                for values in groups.values():
+                    total += sys.getsizeof(values) + int_size * (len(values) + 1)
+        for card in self.cardinality:
+            total += sys.getsizeof(card) + int_size * 2 * len(card)
+        return total
+
+    def compact(self) -> "CompactCECI":
+        """Freeze this builder into the flat-array store (the second
+        phase of the index lifecycle — see DESIGN.md §8)."""
+        from .store import CompactCECI
+
+        return CompactCECI.from_ceci(self)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def candidates(self, u: int) -> Tuple[int, ...]:
@@ -126,7 +211,7 @@ class CECI:
         vertices whose every parent key was cascade-deleted drop out
         automatically."""
         if u == self.tree.root:
-            return set(self.pivots)
+            return set(self._pivot_set)
         union: Set[int] = set()
         for values in self.te[u].values():
             union.update(values)

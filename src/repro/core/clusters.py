@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..kernels import intersect
 from .automorphism import SymmetryBreaker
-from .ceci import CECI, intersect_sorted
+from .store import CECIStore
 
 __all__ = ["WorkUnit", "clusters_of", "decompose_extreme_clusters"]
 
@@ -46,12 +47,12 @@ class WorkUnit:
         return len(self.prefix)
 
 
-def clusters_of(ceci: CECI) -> List[WorkUnit]:
+def clusters_of(ceci: CECIStore) -> List[WorkUnit]:
     """The intact embedding clusters: one unit per pivot, workload =
     ``cardinality(u_s, v_s)``, sorted largest first (the paper sorts the
     work pool by cardinality so big clusters start early)."""
     units = [
-        WorkUnit((pivot,), float(ceci.cluster_cardinality(pivot)))
+        WorkUnit((int(pivot),), float(ceci.cluster_cardinality(pivot)))
         for pivot in ceci.pivots
     ]
     units.sort(key=lambda unit: (-unit.workload, unit.prefix))
@@ -59,7 +60,7 @@ def clusters_of(ceci: CECI) -> List[WorkUnit]:
 
 
 def decompose_extreme_clusters(
-    ceci: CECI,
+    ceci: CECIStore,
     worker_count: int,
     beta: float = 0.2,
     symmetry: Optional[SymmetryBreaker] = None,
@@ -84,6 +85,7 @@ def decompose_extreme_clusters(
     threshold = beta * (total / worker_count)
     units: List[WorkUnit] = []
     for pivot in ceci.pivots:
+        pivot = int(pivot)
         workload = float(ceci.cluster_cardinality(pivot))
         if workload <= 0.0:
             continue
@@ -96,7 +98,7 @@ def decompose_extreme_clusters(
 
 
 def _split(
-    ceci: CECI,
+    ceci: CECIStore,
     prefix: Tuple[int, ...],
     workload: float,
     threshold: float,
@@ -119,11 +121,11 @@ def _split(
     used = set(prefix)
     viable: List[Tuple[int, float]] = []
     total = 0.0
-    cardinalities = ceci.cardinality[u_next]
     for v in matching:
+        v = int(v)
         if v in used or not symmetry.admissible(u_next, v, mapping):
             continue
-        share = float(cardinalities.get(v, 0))
+        share = float(ceci.cardinality_of(u_next, v))
         if share > 0.0:
             viable.append((v, share))
             total += share
@@ -138,20 +140,24 @@ def _split(
             _split(ceci, child_prefix, my_work, threshold, symmetry, units)
 
 
-def _matching_nodes(ceci: CECI, u: int, prefix: Sequence[int]) -> List[int]:
+def _matching_nodes(
+    ceci: CECIStore, u: int, prefix: Sequence[int]
+) -> Sequence[int]:
     """TE ∩ NTE matching nodes for ``u`` under a matching-order prefix —
-    the same lists enumeration would intersect (Algorithm 3 line 13-15)."""
+    the same lists enumeration would intersect (Algorithm 3 line 13-15).
+    Lookups go through the store accessors (dict or compact); emptiness
+    is length-based because compact slices are numpy arrays."""
     tree = ceci.tree
     order = tree.order
     position = {order[d]: d for d in range(len(prefix))}
     v_p = prefix[position[tree.parent[u]]]
-    base = ceci.te[u].get(v_p)
-    if not base:
+    base = ceci.te_values(u, v_p)
+    if len(base) == 0:
         return []
     lists = [base]
     for u_n in tree.nte_parents[u]:
-        other = ceci.nte[u].get(u_n, {}).get(prefix[position[u_n]])
-        if not other:
+        other = ceci.nte_values(u, u_n, prefix[position[u_n]])
+        if len(other) == 0:
             return []
         lists.append(other)
-    return intersect_sorted(lists) if len(lists) > 1 else list(base)
+    return intersect(lists) if len(lists) > 1 else base

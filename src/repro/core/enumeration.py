@@ -34,7 +34,7 @@ intermediate match is expanded by one tree-edge", Section 6.6).
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..kernels import (
     DEFAULT_CACHE_SIZE,
@@ -44,8 +44,8 @@ from ..kernels import (
 )
 from ..resilience.budget import Budget, BudgetExhausted, BudgetTracker
 from .automorphism import SymmetryBreaker
-from .ceci import CECI
 from .stats import MatchStats
+from .store import CECIStore
 
 __all__ = ["Enumerator", "Embedding"]
 
@@ -60,7 +60,8 @@ class Enumerator:
     Parameters
     ----------
     ceci:
-        A built (and normally refined) index.
+        A built (and normally refined) index — any :class:`CECIStore`:
+        the dict builder or the frozen :class:`CompactCECI`.
     symmetry:
         Symmetry breaker; pass one with ``enabled=False`` to list every
         automorphism.
@@ -88,7 +89,7 @@ class Enumerator:
 
     def __init__(
         self,
-        ceci: CECI,
+        ceci: CECIStore,
         symmetry: Optional[SymmetryBreaker] = None,
         use_intersection: bool = True,
         stats: Optional[MatchStats] = None,
@@ -351,13 +352,19 @@ class Enumerator:
             if remaining[0] is not None and remaining[0] <= 0:
                 return
 
-    def matching_nodes(self, u: int, mapping: Sequence[int]) -> List[int]:
+    def matching_nodes(self, u: int, mapping: Sequence[int]) -> Sequence[int]:
         """Candidates of ``u`` consistent with the partial ``mapping``
-        (before injectivity and symmetry checks)."""
+        (before injectivity and symmetry checks).
+
+        Candidate lookups go through the :class:`CECIStore` accessors,
+        so the same code path serves the dict builder (Python lists)
+        and the compact store (zero-copy int64 array slices; emptiness
+        is tested with ``len`` because array truthiness is ambiguous).
+        """
         ceci = self.ceci
         v_p = mapping[self.tree.parent[u]]
-        base = ceci.te[u].get(v_p)
-        if not base:
+        base = ceci.te_values(u, v_p)
+        if len(base) == 0:
             return []
         nte_parents = self.tree.nte_parents[u]
         if not nte_parents:
@@ -385,8 +392,8 @@ class Enumerator:
                     # adjacency list is the candidate list.
                     other = ceci.data.neighbors(mapping[u_n])
                 else:
-                    other = ceci.nte[u].get(u_n, {}).get(mapping[u_n])
-                if not other:
+                    other = ceci.nte_values(u, u_n, mapping[u_n])
+                if len(other) == 0:
                     if cache is not None:
                         cache.put(key, [])
                     return []

@@ -29,9 +29,8 @@ symmetric queries).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from .ceci import CECI
 from .matcher import CECIMatcher
 
 __all__ = ["cardinality_bound", "estimate_embeddings", "EstimateResult"]
@@ -82,7 +81,7 @@ def estimate_embeddings(
     order = tree.order
     rng = random.Random(seed)
 
-    pivots = [p for p in ceci.pivots if ceci.cluster_cardinality(p) > 0]
+    pivots = [int(p) for p in ceci.pivots if ceci.cluster_cardinality(p) > 0]
     weights = [float(ceci.cluster_cardinality(p)) for p in pivots]
     total_weight = sum(weights)
     bound = int(total_weight)
@@ -108,12 +107,14 @@ def estimate_embeddings(
         for depth in range(1, len(order)):
             u = order[depth]
             candidates = enumerator.matching_nodes(u, mapping)
-            cardinalities = ceci.cardinality[u]
-            live: List[Tuple[int, float]] = [
-                (v, float(cardinalities.get(v, 0)))
-                for v in candidates
-                if v not in used and cardinalities.get(v, 0) > 0
-            ]
+            live: List[Tuple[int, float]] = []
+            for v in candidates:
+                v = int(v)
+                if v in used:
+                    continue
+                weight = float(ceci.cardinality_of(u, v))
+                if weight > 0.0:
+                    live.append((v, weight))
             level_weight = sum(w for _, w in live)
             if level_weight == 0.0:
                 alive = False

@@ -31,6 +31,7 @@ from .query_tree import QueryTree
 from .refinement import refine_ceci
 from .root_selection import initial_candidates, select_root
 from .stats import MatchStats
+from .store import STORE_CHOICES, CECIStore
 
 __all__ = ["CECIMatcher", "match", "count_embeddings", "find_embedding"]
 
@@ -51,6 +52,10 @@ class CECIMatcher:
     * ``kernel`` — intersection kernel (``"auto"`` adaptive dispatch,
       or force ``"merge"`` / ``"gallop"`` / ``"bitset"``);
     * ``cache_size`` — TE∩NTE memo-cache entry bound (``0`` disables);
+    * ``store`` — runtime index representation: ``"compact"``
+      (default) freezes the refined index into flat int64 arrays
+      (:class:`~repro.core.store.CompactCECI`, the paper's compact
+      layout — DESIGN.md §8); ``"dict"`` keeps the mutable builder;
     * ``budget`` — optional :class:`~repro.resilience.budget.Budget`
       capping the run (deadline / calls / embeddings / memory); use
       :meth:`run` to get the explicit ``truncated`` flag.
@@ -70,6 +75,7 @@ class CECIMatcher:
         budget: Optional[Budget] = None,
         kernel: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
+        store: str = "compact",
     ) -> None:
         if query.num_vertices == 0:
             raise ValueError("query graph is empty")
@@ -80,6 +86,11 @@ class CECIMatcher:
                 f"unknown intersection kernel {kernel!r}; "
                 f"expected one of {KERNEL_CHOICES}"
             )
+        if store not in STORE_CHOICES:
+            raise ValueError(
+                f"unknown index store {store!r}; "
+                f"expected one of {STORE_CHOICES}"
+            )
         self.query = query
         self.data = data
         self.order_strategy = order_strategy
@@ -87,6 +98,7 @@ class CECIMatcher:
         self.use_intersection = use_intersection
         self.kernel = kernel
         self.cache_size = cache_size
+        self.store = store
         self.filter_config = FilterConfig(
             use_degree_filter=use_degree_filter,
             use_nlc_filter=use_nlc_filter,
@@ -95,14 +107,17 @@ class CECIMatcher:
         self.stats = MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
         self.budget = budget
-        self._ceci: Optional[CECI] = None
+        self._ceci: Optional[CECIStore] = None
         self._tree: Optional[QueryTree] = None
 
     # ------------------------------------------------------------------
     # Pipeline
     # ------------------------------------------------------------------
-    def build(self) -> CECI:
-        """Run preprocessing, filtering and refinement; cached."""
+    def build(self) -> CECIStore:
+        """Run preprocessing, filtering and refinement; cached.  With
+        ``store="compact"`` the dict builder is additionally frozen into
+        a :class:`~repro.core.store.CompactCECI` (timed as the
+        ``freeze`` phase) and the builder is discarded."""
         if self._ceci is not None:
             return self._ceci
         started = time.perf_counter()
@@ -137,8 +152,15 @@ class CECIMatcher:
             _assign_uniform_cardinality(ceci)
         ceci.freeze()
         self.stats.add_phase("refine", time.perf_counter() - started)
-        self._ceci = ceci
-        return ceci
+
+        index: CECIStore = ceci
+        if self.store == "compact":
+            started = time.perf_counter()
+            index = ceci.compact()
+            self.stats.add_phase("freeze", time.perf_counter() - started)
+        self.stats.memory_bytes = index.memory_bytes()
+        self._ceci = index
+        return index
 
     @property
     def tree(self) -> QueryTree:

@@ -5,45 +5,49 @@ we plan to store it in non-volatile memory [30]."  This module is that
 feature's laptop-scale counterpart: a compact binary serialization of a
 built (filtered + refined) CECI, so an index can be constructed once and
 re-enumerated many times — across processes — without paying
-construction again.  The format stores, per query vertex, the TE and NTE
-key/value lists and the cardinality table, plus the query tree needed to
-re-attach the index.
+construction again.
 
-The on-disk layout is a small header followed by numpy ``.npy`` blocks
-(varint-free, mmap-friendly), mirroring how an NVM-resident CECI would
-be laid out as flat arrays.
+Two formats share one file extension:
+
+* ``CECIIDX3`` (current) — a JSON header followed by the
+  :class:`~repro.core.store.CompactCECI` arrays as raw ``.npy`` blocks,
+  in a fixed deterministic order.  Because the in-memory compact store
+  and the on-disk layout are the *same* flat ``(keys, offsets,
+  values)`` triples, dumping is a straight array write and
+  :func:`load_ceci` rebuilds the store by ``np.memmap``-ing each block
+  in place — **no dict reconstruction, no value boxing**; candidate
+  lookups on a loaded index are served from the mapped file.
+* ``CECIIDX2`` (legacy) — the same arrays decoded back into the dict
+  builder; kept so previously written indexes stay loadable and for
+  the ``--store dict`` pipeline.
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import BinaryIO, Dict, List
+from typing import BinaryIO, Dict, List, Tuple, Union
 
 import numpy as np
 
 from ..graph import Graph
 from .ceci import CECI
 from .query_tree import QueryTree
+from .store import CompactCECI, PairArrays, encode_pairs
 
-__all__ = ["save_ceci", "load_ceci", "dump_ceci_bytes", "load_ceci_bytes"]
+__all__ = [
+    "save_ceci",
+    "load_ceci",
+    "dump_ceci_bytes",
+    "load_ceci_bytes",
+    "dump_store_bytes",
+    "load_store_bytes",
+]
 
-_MAGIC = b"CECIIDX2"
+_MAGIC = b"CECIIDX2"  # legacy dict-builder blobs
+_MAGIC_V3 = b"CECIIDX3"  # compact-store format (current)
 
-
-def _encode_pairs(mapping: Dict[int, List[int]]) -> List[np.ndarray]:
-    """Flatten ``{key: [values]}`` into (keys, offsets, values) arrays."""
-    keys = np.fromiter(sorted(mapping), dtype=np.int64, count=len(mapping))
-    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
-    chunks: List[np.ndarray] = []
-    for i, key in enumerate(keys):
-        values = mapping[int(key)]
-        offsets[i + 1] = offsets[i] + len(values)
-        chunks.append(np.asarray(values, dtype=np.int64))
-    values = (
-        np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
-    )
-    return [keys, offsets, values]
+_encode_pairs = encode_pairs  # shared with the compact store
 
 
 def _decode_pairs(keys: np.ndarray, offsets: np.ndarray, values: np.ndarray) -> Dict[int, List[int]]:
@@ -54,10 +58,11 @@ def _decode_pairs(keys: np.ndarray, offsets: np.ndarray, values: np.ndarray) -> 
     return out
 
 
-def dump_ceci_bytes(ceci: CECI) -> bytes:
-    """Serialize a built CECI to bytes."""
-    tree = ceci.tree
-    header = {
+def _header_of(index: Union[CECI, CompactCECI]) -> Dict[str, object]:
+    """The JSON header both formats share: enough to rebuild the query
+    graph and tree, plus the NTE group keys that fix the array order."""
+    tree = index.tree
+    return {
         "query_vertices": tree.query.num_vertices,
         "query_edges": [list(edge) for edge in tree.query.edges],
         "query_labels": [
@@ -66,16 +71,51 @@ def dump_ceci_bytes(ceci: CECI) -> bytes:
         ],
         "root": tree.root,
         "order": list(tree.order),
-        "pivots": list(ceci.pivots),
+        "nte_built": index.nte_built,
         "nte_groups": [
-            sorted(ceci.nte[u]) for u in range(tree.query.num_vertices)
+            sorted(int(u_n) for u_n in index.nte[u])
+            for u in range(tree.query.num_vertices)
         ],
     }
-    buf = io.BytesIO()
-    buf.write(_MAGIC)
+
+
+def _rebuild_tree(header: Dict[str, object]) -> QueryTree:
+    query = Graph(
+        header["query_vertices"],
+        [tuple(edge) for edge in header["query_edges"]],
+        [frozenset(_parse(label) for label in labels)
+         for labels in header["query_labels"]],
+    )
+    return QueryTree(query, header["root"], header["order"])
+
+
+def _write_header(buf: BinaryIO, magic: bytes, header: Dict[str, object]) -> None:
+    buf.write(magic)
     payload = json.dumps(header).encode("utf-8")
     buf.write(len(payload).to_bytes(8, "little"))
     buf.write(payload)
+
+
+def _read_header(buf: BinaryIO) -> Dict[str, object]:
+    size = int.from_bytes(buf.read(8), "little")
+    return json.loads(buf.read(size).decode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Legacy dict-builder format (CECIIDX2)
+# ----------------------------------------------------------------------
+def dump_ceci_bytes(ceci: CECI) -> bytes:
+    """Serialize a built dict-builder CECI to bytes (legacy format)."""
+    if isinstance(ceci, CompactCECI):
+        raise TypeError(
+            "dump_ceci_bytes writes the legacy dict-builder format; "
+            "use dump_store_bytes (or save_ceci) for a CompactCECI"
+        )
+    tree = ceci.tree
+    header = _header_of(ceci)
+    header["pivots"] = [int(p) for p in ceci.pivots]
+    buf = io.BytesIO()
+    _write_header(buf, _MAGIC, header)
 
     arrays: List[np.ndarray] = []
     for u in range(tree.query.num_vertices):
@@ -91,22 +131,16 @@ def dump_ceci_bytes(ceci: CECI) -> bytes:
 
 
 def load_ceci_bytes(blob: bytes, data: Graph) -> CECI:
-    """Reconstruct a CECI against the (identical) data graph."""
+    """Reconstruct a dict-builder CECI from a legacy blob."""
     buf = io.BytesIO(blob)
     if buf.read(len(_MAGIC)) != _MAGIC:
         raise ValueError("not a CECI index blob")
-    size = int.from_bytes(buf.read(8), "little")
-    header = json.loads(buf.read(size).decode("utf-8"))
-
-    query = Graph(
-        header["query_vertices"],
-        [tuple(edge) for edge in header["query_edges"]],
-        [frozenset(_parse(label) for label in labels)
-         for labels in header["query_labels"]],
-    )
-    tree = QueryTree(query, header["root"], header["order"])
+    header = _read_header(buf)
+    tree = _rebuild_tree(header)
+    query = tree.query
     ceci = CECI(tree, data)
     ceci.pivots = list(header["pivots"])
+    ceci.nte_built = bool(header.get("nte_built", True))
 
     def read_pairs() -> Dict[int, List[int]]:
         keys = np.load(buf, allow_pickle=False)
@@ -126,6 +160,97 @@ def load_ceci_bytes(blob: bytes, data: Graph) -> CECI:
     return ceci
 
 
+# ----------------------------------------------------------------------
+# Compact-store format (CECIIDX3)
+# ----------------------------------------------------------------------
+def dump_store_bytes(index: Union[CECI, CompactCECI]) -> bytes:
+    """Serialize a compact store (a dict builder is frozen first).
+
+    The array order is fixed: pivots, then per query vertex the TE
+    triple, each NTE group triple (group keys ascending, recorded in
+    the header), and the cardinality ``(keys, values)`` pair.
+    """
+    store = index if isinstance(index, CompactCECI) else index.compact()
+    tree = store.tree
+    buf = io.BytesIO()
+    _write_header(buf, _MAGIC_V3, _header_of(store))
+    np.save(buf, store.pivots, allow_pickle=False)
+    for u in range(tree.query.num_vertices):
+        for array in store.te[u]:
+            np.save(buf, array, allow_pickle=False)
+        for u_n in sorted(store.nte[u]):
+            for array in store.nte[u][u_n]:
+                np.save(buf, array, allow_pickle=False)
+        for array in store.card[u]:
+            np.save(buf, array, allow_pickle=False)
+    return buf.getvalue()
+
+
+def _read_block(handle: BinaryIO, path: str, mmap: bool) -> np.ndarray:
+    """One ``.npy`` block, either loaded or mapped in place.
+
+    The mmap path parses only the npy header, creates a read-only
+    ``np.memmap`` view at the data offset and seeks past the block —
+    the candidate payload never enters the Python heap.
+    """
+    if not mmap:
+        return np.load(handle, allow_pickle=False)
+    version = np.lib.format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+    else:  # pragma: no cover - numpy only writes 1.0/2.0 today
+        raise ValueError(f"unsupported npy format version {version}")
+    offset = handle.tell()
+    count = 1
+    for dim in shape:
+        count *= int(dim)
+    handle.seek(offset + count * dtype.itemsize)
+    if count == 0:
+        # Zero-length arrays cannot be mapped (mmap forbids empty
+        # ranges); an empty in-heap array is observationally identical.
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+
+
+def _load_store(
+    handle: BinaryIO, data: Graph, path: str, mmap: bool
+) -> CompactCECI:
+    """Rebuild a :class:`CompactCECI` from a v3 stream positioned just
+    after the magic — straight into arrays, never through dicts."""
+    header = _read_header(handle)
+    tree = _rebuild_tree(header)
+    n = tree.query.num_vertices
+
+    def block() -> np.ndarray:
+        return _read_block(handle, path, mmap)
+
+    pivots = block()
+    te: List[PairArrays] = []
+    nte: List[Dict[int, PairArrays]] = []
+    card: List[Tuple[np.ndarray, np.ndarray]] = []
+    for u in range(n):
+        te.append((block(), block(), block()))
+        groups: Dict[int, PairArrays] = {}
+        for u_n in header["nte_groups"][u]:
+            groups[int(u_n)] = (block(), block(), block())
+        nte.append(groups)
+        card.append((block(), block()))
+    return CompactCECI(
+        tree, data, pivots, te, nte, card,
+        nte_built=bool(header.get("nte_built", True)),
+    )
+
+
+def load_store_bytes(blob: bytes, data: Graph) -> CompactCECI:
+    """Reconstruct a compact store from v3 bytes (no dict round-trip)."""
+    buf = io.BytesIO(blob)
+    if buf.read(len(_MAGIC_V3)) != _MAGIC_V3:
+        raise ValueError("not a compact CECI store blob")
+    return _load_store(buf, data, "<bytes>", mmap=False)
+
+
 def _parse(token: str) -> object:
     try:
         return int(token)
@@ -135,13 +260,35 @@ def _parse(token: str) -> object:
         return token
 
 
-def save_ceci(ceci: CECI, path: str) -> None:
-    """Write a built CECI to ``path``."""
+# ----------------------------------------------------------------------
+# File entry points (format auto-detected on load)
+# ----------------------------------------------------------------------
+def save_ceci(index: Union[CECI, CompactCECI], path: str) -> None:
+    """Write a built index to ``path``: compact stores (and anything
+    the matcher's default pipeline produces) in the v3 array format,
+    dict builders in the legacy format."""
+    if isinstance(index, CompactCECI):
+        blob = dump_store_bytes(index)
+    else:
+        blob = dump_ceci_bytes(index)
     with open(path, "wb") as handle:
-        handle.write(dump_ceci_bytes(ceci))
+        handle.write(blob)
 
 
-def load_ceci(path: str, data: Graph) -> CECI:
-    """Load a CECI from ``path`` against the identical data graph."""
+def load_ceci(
+    path: str, data: Graph, mmap: bool = True
+) -> Union[CECI, CompactCECI]:
+    """Load an index from ``path`` against the identical data graph.
+
+    v3 files come back as a :class:`CompactCECI` whose arrays are
+    ``np.memmap`` views into the file (pass ``mmap=False`` to read them
+    into RAM instead); legacy files come back as the dict builder.
+    """
     with open(path, "rb") as handle:
-        return load_ceci_bytes(handle.read(), data)
+        magic = handle.read(len(_MAGIC_V3))
+        if magic == _MAGIC_V3:
+            return _load_store(handle, data, path, mmap=mmap)
+        if magic == _MAGIC:
+            handle.seek(0)
+            return load_ceci_bytes(handle.read(), data)
+    raise ValueError(f"{path}: not a CECI index file")

@@ -35,6 +35,8 @@ class MatchStats:
     kernel_merge_calls: int = 0
     kernel_gallop_calls: int = 0
     kernel_bitset_calls: int = 0
+    #: Fully-vectorised intersections over compact-store array slices.
+    kernel_array_calls: int = 0
     #: Memo-cache outcomes for TE∩NTE intersections (see DESIGN.md §7).
     cache_hits: int = 0
     cache_misses: int = 0
@@ -51,6 +53,12 @@ class MatchStats:
     # --- index size -----------------------------------------------------
     te_candidate_edges: int = 0
     nte_candidate_edges: int = 0
+    #: Measured resident bytes of the runtime index representation
+    #: (flat arrays for ``store="compact"``, the boxed-container model
+    #: for ``store="dict"``); 0 until an index is built.  Contrast with
+    #: :attr:`index_bytes`, the paper's 8-bytes-per-candidate-edge
+    #: accounting, which is representation-independent.
+    memory_bytes: int = 0
 
     # --- resilience (budgets, fault recovery) ---------------------------
     #: Enumerations stopped early by a Budget axis.
@@ -99,6 +107,8 @@ class MatchStats:
             self.kernel_gallop_calls += 1
         elif name == "bitset":
             self.kernel_bitset_calls += 1
+        elif name == "array":
+            self.kernel_array_calls += 1
 
     def add_phase(self, phase: str, seconds: float) -> None:
         """Accumulate wall-clock time into a named phase."""
@@ -113,6 +123,7 @@ class MatchStats:
         self.kernel_merge_calls += other.kernel_merge_calls
         self.kernel_gallop_calls += other.kernel_gallop_calls
         self.kernel_bitset_calls += other.kernel_bitset_calls
+        self.kernel_array_calls += other.kernel_array_calls
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_evictions += other.cache_evictions
@@ -124,6 +135,8 @@ class MatchStats:
         self.removed_by_refinement += other.removed_by_refinement
         self.te_candidate_edges += other.te_candidate_edges
         self.nte_candidate_edges += other.nte_candidate_edges
+        # Workers share one index, so the footprint is the peak, not a sum.
+        self.memory_bytes = max(self.memory_bytes, other.memory_bytes)
         self.budget_stops += other.budget_stops
         self.retries += other.retries
         self.reassignments += other.reassignments

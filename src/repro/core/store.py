@@ -1,0 +1,279 @@
+"""The frozen, array-packed CECI store — the index's second phase.
+
+The paper's central claim is *compactness*: the CECI is ``O(|Eq| x
+|Eg|)`` and Section 6.4 plans an NVM-resident layout of flat arrays.
+The dict-of-dict builder (:class:`repro.core.ceci.CECI`) is the right
+shape for BFS filtering and reverse-BFS refinement — those phases
+mutate heavily — but it is the wrong shape to *keep*: boxed ints,
+per-list headers and hash tables cost an order of magnitude over the
+payload, and every enumeration probe materialises Python objects.
+
+This module introduces the two-phase index lifecycle:
+
+* **build** — filtering and refinement mutate the dict builder;
+* **freeze** — :meth:`CECI.compact` / :meth:`CompactCECI.from_ceci`
+  pack the final index into per-query-vertex sorted ``(keys, offsets,
+  values)`` int64 triples (CSR over the candidate keys) plus a flat
+  ``(keys, values)`` cardinality pair — exactly the layout
+  :mod:`repro.core.persist` writes to disk, so persistence becomes a
+  header plus raw array blocks and loading can ``mmap`` the arrays
+  without ever reconstructing dicts.
+
+Both representations satisfy the small :class:`CECIStore` protocol, so
+enumeration (:mod:`repro.core.enumeration`), cluster decomposition
+(:mod:`repro.core.clusters`) and estimation (:mod:`repro.core.estimate`)
+run against either.  Compact lookups return **zero-copy array slices**
+(``values[offsets[i]:offsets[i+1]]``) which the kernel dispatcher routes
+through the vectorised :func:`repro.kernels.intersect_ndarray` path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from ..graph import Graph
+from .query_tree import QueryTree
+from .stats import MatchStats
+
+__all__ = [
+    "STORE_CHOICES",
+    "CECIStore",
+    "CompactCECI",
+    "PairArrays",
+    "encode_pairs",
+    "lookup_pairs",
+]
+
+#: What ``CECIMatcher(store=...)`` / ``--store`` accept.  ``compact``
+#: (the default) freezes the builder into a :class:`CompactCECI` after
+#: refinement; ``dict`` keeps the mutable builder as the runtime index.
+STORE_CHOICES: Tuple[str, ...] = ("dict", "compact")
+
+#: One flattened ``{key: [values]}`` mapping: sorted ``keys``,
+#: ``offsets`` of length ``len(keys) + 1``, concatenated ``values`` —
+#: ``values[offsets[i]:offsets[i+1]]`` are the sorted values of
+#: ``keys[i]``.  All int64.
+PairArrays = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+@runtime_checkable
+class CECIStore(Protocol):
+    """The read interface enumeration, clusters and estimation need.
+
+    Satisfied structurally by both the dict builder
+    (:class:`repro.core.ceci.CECI`) and :class:`CompactCECI`; consumers
+    type against this so the two-phase lifecycle is invisible to them.
+    """
+
+    tree: QueryTree
+    data: Graph
+    nte_built: bool
+
+    @property
+    def pivots(self) -> Sequence[int]: ...
+
+    def te_values(self, u: int, v_p: int) -> Sequence[int]: ...
+
+    def nte_values(self, u: int, u_n: int, v_n: int) -> Sequence[int]: ...
+
+    def cardinality_of(self, u: int, v: int) -> int: ...
+
+    def cluster_cardinality(self, pivot: int) -> int: ...
+
+    def candidates(self, u: int) -> Sequence[int]: ...
+
+    def te_edge_count(self) -> int: ...
+
+    def nte_edge_count(self) -> int: ...
+
+    def record_size(self, stats: MatchStats) -> None: ...
+
+    def memory_bytes(self) -> int: ...
+
+
+def encode_pairs(mapping: Dict[int, Sequence[int]]) -> PairArrays:
+    """Flatten ``{key: [sorted values]}`` into ``(keys, offsets,
+    values)`` int64 arrays — the compact store's (and the on-disk
+    format's) unit of layout."""
+    keys = np.fromiter(sorted(mapping), dtype=np.int64, count=len(mapping))
+    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+    chunks: List[np.ndarray] = []
+    for i, key in enumerate(keys):
+        values = mapping[int(key)]
+        offsets[i + 1] = offsets[i] + len(values)
+        chunks.append(np.asarray(values, dtype=np.int64))
+    values = np.concatenate(chunks) if chunks else _EMPTY_I64
+    return keys, offsets, values
+
+
+def lookup_pairs(triple: PairArrays, key: int) -> np.ndarray:
+    """Zero-copy value slice for ``key`` (empty array when unkeyed).
+
+    The compact store's (and any compact-region baseline's) single probe
+    primitive: binary-search the key column, hand back a value *view*."""
+    keys, offsets, values = triple
+    i = int(np.searchsorted(keys, key))
+    if i >= len(keys) or keys[i] != key:
+        return _EMPTY_I64
+    return values[offsets[i] : offsets[i + 1]]
+
+
+def _unique_pair_count(triple: PairArrays) -> int:
+    """Distinct undirected ``(key, value)`` pairs in one mapping — the
+    Table 2 candidate-edge convention (each edge counted once even when
+    keyed under both endpoints)."""
+    keys, offsets, values = triple
+    if len(values) == 0:
+        return 0
+    a = np.repeat(keys, np.diff(offsets))
+    lo = np.minimum(a, values)
+    hi = np.maximum(a, values)
+    return int(len(np.unique(np.stack([lo, hi], axis=1), axis=0)))
+
+
+class CompactCECI:
+    """The frozen CECI: flat sorted int64 arrays, nothing boxed.
+
+    Per query vertex ``u``:
+
+    * ``te[u]`` — one :data:`PairArrays` triple for TE_Candidates;
+    * ``nte[u][u_n]`` — one triple per NTE parent group;
+    * ``card[u]`` — ``(keys, values)`` refinement-cardinality columns.
+
+    Lookups binary-search the key column and hand back value *views*;
+    nothing is copied and nothing is rebuilt into Python containers.
+    The identical arrays are what :mod:`repro.core.persist` writes, so
+    a loaded index can be ``np.memmap``-backed transparently.
+    """
+
+    def __init__(
+        self,
+        tree: QueryTree,
+        data: Graph,
+        pivots: np.ndarray,
+        te: List[PairArrays],
+        nte: List[Dict[int, PairArrays]],
+        card: List[Tuple[np.ndarray, np.ndarray]],
+        nte_built: bool = True,
+    ) -> None:
+        self.tree = tree
+        self.data = data
+        self._pivots = np.asarray(pivots, dtype=np.int64)
+        self.te = te
+        self.nte = nte
+        self.card = card
+        self.nte_built = nte_built
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_ceci(cls, ceci) -> "CompactCECI":
+        """Freeze a built (filtered + refined) dict builder."""
+        tree = ceci.tree
+        n = tree.query.num_vertices
+        te = [encode_pairs(ceci.te[u]) for u in range(n)]
+        nte = [
+            {
+                int(u_n): encode_pairs(ceci.nte[u][u_n])
+                for u_n in sorted(ceci.nte[u])
+            }
+            for u in range(n)
+        ]
+        card = []
+        for u in range(n):
+            table = ceci.cardinality[u]
+            keys = np.fromiter(
+                sorted(table), dtype=np.int64, count=len(table)
+            )
+            values = np.fromiter(
+                (table[int(k)] for k in keys), dtype=np.int64, count=len(keys)
+            )
+            card.append((keys, values))
+        pivots = np.fromiter(
+            ceci.pivots, dtype=np.int64, count=len(ceci.pivots)
+        )
+        return cls(tree, ceci.data, pivots, te, nte, card, ceci.nte_built)
+
+    # ------------------------------------------------------------------
+    # CECIStore accessors
+    # ------------------------------------------------------------------
+    @property
+    def pivots(self) -> np.ndarray:
+        """Sorted pivot array (read-only view of the store)."""
+        return self._pivots
+
+    def te_values(self, u: int, v_p: int) -> np.ndarray:
+        """Zero-copy sorted TE candidate slice of ``u`` under ``v_p``."""
+        return lookup_pairs(self.te[u], v_p)
+
+    def nte_values(self, u: int, u_n: int, v_n: int) -> np.ndarray:
+        """Zero-copy sorted NTE candidate slice of ``u`` under NTE
+        parent ``u_n``'s candidate ``v_n``."""
+        triple = self.nte[u].get(u_n)
+        if triple is None:
+            return _EMPTY_I64
+        return lookup_pairs(triple, v_n)
+
+    def cardinality_of(self, u: int, v: int) -> int:
+        """Refinement cardinality of ``u -> v`` (0 if pruned)."""
+        keys, values = self.card[u]
+        i = int(np.searchsorted(keys, v))
+        if i >= len(keys) or keys[i] != v:
+            return 0
+        return int(values[i])
+
+    def cluster_cardinality(self, pivot: int) -> int:
+        """Maximum embeddings in the cluster rooted at ``pivot``."""
+        return self.cardinality_of(self.tree.root, pivot)
+
+    def candidates(self, u: int) -> np.ndarray:
+        """Sorted candidates of ``u``: the pivots for the root, else the
+        distinct TE values (exactly the builder's frontier union)."""
+        if u == self.tree.root:
+            return self._pivots
+        values = self.te[u][2]
+        if len(values) == 0:
+            return _EMPTY_I64
+        return np.unique(values)
+
+    def te_edge_count(self) -> int:
+        """Distinct tree-edge candidate edges (Table 2 convention)."""
+        return sum(_unique_pair_count(triple) for triple in self.te)
+
+    def nte_edge_count(self) -> int:
+        """Distinct non-tree-edge candidate edges."""
+        return sum(
+            _unique_pair_count(triple)
+            for per_node in self.nte
+            for triple in per_node.values()
+        )
+
+    def record_size(self, stats: MatchStats) -> None:
+        """Publish index-size counters into ``stats`` (Table 2)."""
+        stats.te_candidate_edges = self.te_edge_count()
+        stats.nte_candidate_edges = self.nte_edge_count()
+
+    def memory_bytes(self) -> int:
+        """Exact payload footprint: the sum of all array bytes.  This is
+        what the dict builder's ``memory_bytes`` model is compared
+        against in ``BENCH_store.json``."""
+        total = int(self._pivots.nbytes)
+        for keys, offsets, values in self.te:
+            total += int(keys.nbytes + offsets.nbytes + values.nbytes)
+        for per_node in self.nte:
+            for keys, offsets, values in per_node.values():
+                total += int(keys.nbytes + offsets.nbytes + values.nbytes)
+        for keys, values in self.card:
+            total += int(keys.nbytes + values.nbytes)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"<CompactCECI clusters={len(self._pivots)} "
+            f"bytes={self.memory_bytes()}>"
+        )

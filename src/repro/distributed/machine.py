@@ -22,6 +22,14 @@ class MachineReport:
     construction_compute: float = 0.0
     construction_io: float = 0.0
     construction_comm: float = 0.0
+    #: Resident bytes of this machine's built candidate index (flat
+    #: arrays under ``store="compact"``, boxed-dict model under
+    #: ``store="dict"``).
+    index_bytes: int = 0
+    #: Index payload bytes shipped to place this machine's cluster
+    #: slices (equals ``index_bytes``: the per-machine index *is* its
+    #: clusters' candidate slices).
+    shipped_bytes: int = 0
 
     # --- enumeration phase ---------------------------------------------
     #: Cost of enumerating the machine's own clusters.

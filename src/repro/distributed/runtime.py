@@ -47,6 +47,7 @@ from ..core.refinement import refine_ceci
 from ..core.root_selection import initial_candidates, select_root
 from ..core.automorphism import SymmetryBreaker
 from ..core.stats import MatchStats
+from ..core.store import STORE_CHOICES
 from ..graph import Graph
 from ..resilience.faults import FaultPlan
 from ..resilience.recovery import RecoveryLog, RetryPolicy
@@ -148,9 +149,15 @@ class DistributedCECI:
         similarity_top: int = 1000,
         fault_plan: Optional[FaultPlan] = None,
         max_retries: int = 2,
+        store: str = "compact",
     ) -> None:
         if mode not in ("memory", "shared"):
             raise ValueError(f"unknown storage mode {mode!r}")
+        if store not in STORE_CHOICES:
+            raise ValueError(
+                f"unknown index store {store!r}; "
+                f"expected one of {STORE_CHOICES}"
+            )
         self.query = query
         self.data = data
         self.num_machines = num_machines
@@ -159,6 +166,7 @@ class DistributedCECI:
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
         self.fault_plan = fault_plan
         self.retry_policy = RetryPolicy(max_retries)
+        self.store = store
 
     def run(self) -> DistributedResult:
         """Execute the full distributed pipeline."""
@@ -227,9 +235,19 @@ class DistributedCECI:
                 + build_stats.te_candidate_edges
                 + build_stats.nte_candidate_edges
             )
+            if self.store == "compact":
+                # Freeze before enumeration: the machine's runtime index
+                # — and the payload a placement would ship to it — is
+                # its clusters' flat candidate-array slices, not pickled
+                # dicts.
+                ceci = ceci.compact()
+            report.index_bytes = ceci.memory_bytes()
+            report.shipped_bytes = report.index_bytes
+            storage.register_index_bytes(m, report.index_bytes)
 
             clusters: List[Tuple[int, float]] = []
             for pivot in ceci.pivots:
+                pivot = int(pivot)
                 cluster_stats = MatchStats()
                 cluster_enum = Enumerator(
                     ceci, symmetry=self.symmetry, stats=cluster_stats
@@ -244,6 +262,7 @@ class DistributedCECI:
         construction_makespan = max(
             (r.construction_total for r in reports), default=0.0
         )
+        stats.memory_bytes = max((r.index_bytes for r in reports), default=0)
 
         # --- enumeration with work stealing and crash recovery ---------
         embeddings: List[Tuple[int, ...]] = []

@@ -35,6 +35,26 @@ class StorageModel:
     def __init__(self) -> None:
         self.io_cost = 0.0
         self.io_requests = 0
+        #: Resident bytes of each machine's frozen candidate index
+        #: (registered by the runtime after per-machine construction).
+        self.index_bytes: Dict[int, int] = {}
+
+    def register_index_bytes(self, machine_id: int, nbytes: int) -> None:
+        """Record the payload bytes of a machine's built CECI store.
+
+        With the compact store this is the exact flat-array footprint —
+        the per-cluster candidate slices that machine holds (and that a
+        placement would ship to it); with the dict store it is the
+        boxed-container model.  Purely accounting: registered bytes do
+        not feed back into the IO cost model.
+        """
+        self.index_bytes[machine_id] = (
+            self.index_bytes.get(machine_id, 0) + int(nbytes)
+        )
+
+    def total_index_bytes(self) -> int:
+        """Sum of registered index bytes across machines."""
+        return sum(self.index_bytes.values())
 
     def graph_for_machine(self, machine_id: int) -> "TrackedGraph":
         """A graph handle whose adjacency accesses are metered for the

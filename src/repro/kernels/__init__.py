@@ -22,6 +22,7 @@ from .intersect import (
     intersect_bitset,
     intersect_gallop,
     intersect_merge,
+    intersect_ndarray,
     maybe_assert_sorted,
     set_check_sorted,
     sorted_checks_enabled,
@@ -42,6 +43,7 @@ __all__ = [
     "intersect_bitset",
     "intersect_gallop",
     "intersect_merge",
+    "intersect_ndarray",
     "maybe_assert_sorted",
     "set_check_sorted",
     "sorted_checks_enabled",

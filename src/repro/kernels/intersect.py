@@ -52,6 +52,7 @@ __all__ = [
     "intersect_merge",
     "intersect_gallop",
     "intersect_bitset",
+    "intersect_ndarray",
     "maybe_assert_sorted",
     "set_check_sorted",
     "sorted_checks_enabled",
@@ -235,7 +236,7 @@ def intersect_bitset(lists: Sequence[SortedList]) -> List[int]:
         return []
     if len(lists) == 1:
         return list(lists[0])
-    if any(not values for values in lists):
+    if any(len(values) == 0 for values in lists):
         return []
     lo = max(values[0] for values in lists)
     hi = min(values[-1] for values in lists)
@@ -276,6 +277,36 @@ def intersect_bitset(lists: Sequence[SortedList]) -> List[int]:
             for bit in byte_bits[byte]:
                 append(base + bit)
     return out
+
+
+def intersect_ndarray(lists: Sequence[SortedList]) -> "SortedList":
+    """k-way intersection of sorted numpy int64 arrays, fully vectorised.
+
+    The shortest array drives; each other array is probed with one
+    ``np.searchsorted`` (vectorised galloping) and the survivors are
+    kept by boolean mask.  This is the kernel the compact CECI store
+    routes its zero-copy candidate slices through: no element boxing,
+    no per-call list materialisation, and the result is again an int64
+    array that downstream consumers can slice or iterate.
+
+    Requires numpy; :func:`dispatch` only selects it when every input
+    is already an ``ndarray``.
+    """
+    maybe_assert_sorted(lists)
+    if not lists:
+        return _np.empty(0, dtype=_np.int64)
+    order = sorted(range(len(lists)), key=lambda i: len(lists[i]))
+    current = lists[order[0]]
+    for i in order[1:]:
+        if len(current) == 0:
+            break
+        other = lists[i]
+        if len(other) == 0:
+            return other[:0]
+        probes = _np.searchsorted(other, current)
+        probes[probes == len(other)] = len(other) - 1
+        current = current[other[probes] == current]
+    return current
 
 
 _KERNELS: Dict[str, Callable[[Sequence[SortedList]], List[int]]] = {
@@ -323,13 +354,16 @@ def choose_kernel(lists: Sequence[SortedList]) -> str:
 
 def dispatch(
     lists: Sequence[SortedList], kernel: str = "auto"
-) -> Tuple[str, List[int]]:
+) -> Tuple[str, SortedList]:
     """Intersect ``lists`` and report which kernel did the work.
 
     Returns ``(name, result)``; ``name`` is ``"trivial"`` for the cases
     no kernel ever sees (no lists, a single list, an empty input list),
-    otherwise one of :data:`KERNEL_NAMES`.  ``kernel="auto"`` applies
-    :func:`choose_kernel`; a concrete name forces that kernel.
+    ``"array"`` when every input is a sorted numpy array and ``auto``
+    dispatch routes through :func:`intersect_ndarray` (the result is
+    then itself an int64 array), otherwise one of :data:`KERNEL_NAMES`.
+    ``kernel="auto"`` applies :func:`choose_kernel`; a concrete name
+    forces that kernel.
 
     The two-list case is enumeration's hot path (one TE list against one
     NTE list), so it is special-cased to dodge the generic O(k) scans.
@@ -338,8 +372,16 @@ def dispatch(
         maybe_assert_sorted(lists)
     if len(lists) == 2:
         a, b = lists
-        if not a or not b:
+        if len(a) == 0 or len(b) == 0:
             return "trivial", []
+        if (
+            kernel == "auto"
+            and _np is not None
+            and isinstance(a, _np.ndarray)
+            and isinstance(b, _np.ndarray)
+        ):
+            # Compact-store slices: stay in array land, zero boxing.
+            return "array", intersect_ndarray(lists)
         if kernel == "auto":
             na = len(a)
             nb = len(b)
@@ -369,10 +411,17 @@ def dispatch(
     if not lists:
         return "trivial", []
     if len(lists) == 1:
-        return "trivial", list(lists[0])
+        only = lists[0]
+        if _np is not None and isinstance(only, _np.ndarray):
+            return "trivial", only
+        return "trivial", list(only)
     for values in lists:
-        if not values:
+        if len(values) == 0:
             return "trivial", []
+    if kernel == "auto" and _np is not None and all(
+        isinstance(values, _np.ndarray) for values in lists
+    ):
+        return "array", intersect_ndarray(lists)
     if kernel == "auto":
         name = choose_kernel(lists)
     elif kernel in _KERNELS:
@@ -385,6 +434,6 @@ def dispatch(
     return name, _KERNELS[name](lists)
 
 
-def intersect(lists: Sequence[SortedList], kernel: str = "auto") -> List[int]:
+def intersect(lists: Sequence[SortedList], kernel: str = "auto") -> SortedList:
     """Plain intersection result (dispatch without the kernel name)."""
     return dispatch(lists, kernel)[1]

@@ -137,6 +137,11 @@ def parallel_match(
     else:
         raise ValueError(f"unknown policy {policy!r}")
 
+    # One built store shared by every worker: with ``store="compact"``
+    # the workers read frozen int64 arrays (immutable, so sharing is
+    # race-free by construction) and each unit's candidate lookups are
+    # zero-copy slices of the same buffers — nothing is pickled or
+    # duplicated per worker.
     ceci = matcher.build()
     reports = [WorkerReport(w) for w in range(workers)]
     state = _RunState(limit)
@@ -158,6 +163,8 @@ def parallel_match(
             symmetry=matcher.symmetry,
             use_intersection=matcher.use_intersection,
             stats=report.stats,
+            kernel=matcher.kernel,
+            cache_size=matcher.cache_size,
         )
         buffer: List[Tuple[int, ...]] = []
         for embedding in enumerator.embeddings_from_unit(unit.prefix):

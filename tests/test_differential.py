@@ -29,7 +29,9 @@ from repro.graph.generators import power_law
 Engine = Callable[[Graph, Graph], Set[Tuple[int, ...]]]
 
 
-def _ceci(kernel: str, use_intersection: bool = True) -> Engine:
+def _ceci(
+    kernel: str, use_intersection: bool = True, store: str = "dict"
+) -> Engine:
     def run(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
         matcher = CECIMatcher(
             query,
@@ -37,32 +39,65 @@ def _ceci(kernel: str, use_intersection: bool = True) -> Engine:
             break_automorphisms=False,
             use_intersection=use_intersection,
             kernel=kernel,
+            store=store,
         )
         return set(matcher.match())
 
     return run
 
 
+def _cfl(use_intersection: bool = False, store: str = "dict") -> Engine:
+    return lambda q, d: set(
+        cflmatch_match(
+            q,
+            d,
+            break_automorphisms=False,
+            use_intersection=use_intersection,
+            store=store,
+        )
+    )
+
+
+def _turbo(use_intersection: bool = False, store: str = "dict") -> Engine:
+    return lambda q, d: set(
+        turboiso_match(
+            q,
+            d,
+            break_automorphisms=False,
+            use_intersection=use_intersection,
+            store=store,
+        )
+    )
+
+
+# The original 11 engine configurations run the mutable dict builder;
+# every index-shaped engine is then repeated over the frozen compact
+# store — the embedding sets must be identical across *both* axes.
 ENGINES: Dict[str, Engine] = {
     "ceci-auto": _ceci("auto"),
     "ceci-merge": _ceci("merge"),
     "ceci-gallop": _ceci("gallop"),
     "ceci-bitset": _ceci("bitset"),
     "ceci-edge-verify": _ceci("auto", use_intersection=False),
-    "cfl-edge-verify": lambda q, d: set(
-        cflmatch_match(q, d, break_automorphisms=False)
-    ),
-    "cfl-intersect": lambda q, d: set(
-        cflmatch_match(q, d, break_automorphisms=False, use_intersection=True)
-    ),
-    "turboiso-edge-verify": lambda q, d: set(
-        turboiso_match(q, d, break_automorphisms=False)
-    ),
-    "turboiso-intersect": lambda q, d: set(
-        turboiso_match(q, d, break_automorphisms=False, use_intersection=True)
-    ),
+    "cfl-edge-verify": _cfl(),
+    "cfl-intersect": _cfl(use_intersection=True),
+    "turboiso-edge-verify": _turbo(),
+    "turboiso-intersect": _turbo(use_intersection=True),
     "vf2": lambda q, d: set(vf2_match(q, d, break_automorphisms=False)),
     "ullmann": lambda q, d: set(ullmann_match(q, d, break_automorphisms=False)),
+    "ceci-auto-compact": _ceci("auto", store="compact"),
+    "ceci-merge-compact": _ceci("merge", store="compact"),
+    "ceci-gallop-compact": _ceci("gallop", store="compact"),
+    "ceci-bitset-compact": _ceci("bitset", store="compact"),
+    "ceci-edge-verify-compact": _ceci(
+        "auto", use_intersection=False, store="compact"
+    ),
+    "cfl-edge-verify-compact": _cfl(store="compact"),
+    "cfl-intersect-compact": _cfl(use_intersection=True, store="compact"),
+    "turboiso-edge-verify-compact": _turbo(store="compact"),
+    "turboiso-intersect-compact": _turbo(
+        use_intersection=True, store="compact"
+    ),
 }
 
 

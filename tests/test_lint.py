@@ -1,0 +1,112 @@
+"""Static-hygiene checks that would have caught the ``Optional``
+import bug.
+
+``repro.core.ceci`` once annotated ``nte_sets``/``te_sets`` with
+``Optional`` without importing it — harmless under ``from __future__
+import annotations`` (annotations stay strings) but a latent
+``NameError`` for anything that evaluates them.  Two layers of defence:
+
+* a dependency-free sweep that *evaluates* every annotation in every
+  ``repro`` module via :func:`typing.get_type_hints` — an unimported
+  typing name blows up here immediately;
+* a pyflakes pass over the source tree (skipped when pyflakes is not
+  installed locally; CI's lint job always runs it) that rejects any
+  undefined name, annotation or otherwise.
+
+The sweep's ``localns`` contains only classes *defined by repro* — so
+``TYPE_CHECKING``-guarded forward references to our own types resolve,
+while a missing ``typing`` import still fails exactly as it should.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import typing
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def _repro_modules():
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would run the CLI
+        modules.append(importlib.import_module(info.name))
+    return modules
+
+
+_MODULES = _repro_modules()
+
+#: Every class repro defines, by bare name — the only names (besides
+#: each module's own globals) the annotation sweep may resolve against.
+_REPRO_CLASSES = {
+    name: obj
+    for module in _MODULES
+    for name, obj in vars(module).items()
+    if inspect.isclass(obj)
+    and getattr(obj, "__module__", "").startswith("repro")
+}
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_every_annotation_resolves(module):
+    for name, obj in sorted(vars(module).items()):
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-exports are checked in their home module
+        if inspect.isclass(obj):
+            typing.get_type_hints(obj, localns=_REPRO_CLASSES)
+            for _, member in inspect.getmembers(obj, inspect.isfunction):
+                if member.__module__ == module.__name__:
+                    typing.get_type_hints(member, localns=_REPRO_CLASSES)
+        elif inspect.isfunction(obj):
+            typing.get_type_hints(obj, localns=_REPRO_CLASSES)
+
+
+def test_sweep_catches_the_original_bug_class():
+    """Regression meta-test: an ``Optional`` annotation with no import
+    must fail the sweep (this is the exact historical ceci.py bug).
+    The annotation is attached dynamically so the lint pass itself
+    doesn't (correctly!) flag this file."""
+
+    def buggy(x):
+        return None
+
+    buggy.__annotations__ = {"x": "Optional[int]", "return": "None"}
+    with pytest.raises(NameError):
+        typing.get_type_hints(buggy, globalns={}, localns=_REPRO_CLASSES)
+
+
+def test_pyflakes_reports_no_undefined_names():
+    pyflakes_api = pytest.importorskip(
+        "pyflakes.api", reason="pyflakes not installed (CI lint job runs it)"
+    )
+    from pyflakes.reporter import Reporter
+
+    class _Collector:
+        def __init__(self):
+            self.lines = []
+
+        def write(self, text):
+            self.lines.append(text)
+
+        def flush(self):
+            pass
+
+    out, err = _Collector(), _Collector()
+    reporter = Reporter(out, err)
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        pyflakes_api.checkPath(str(path), reporter=reporter)
+    undefined = [
+        line
+        for line in "".join(out.lines).splitlines()
+        if "undefined name" in line
+    ]
+    assert not undefined, "\n".join(undefined)
+    assert not err.lines, "".join(err.lines)

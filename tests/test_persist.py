@@ -1,9 +1,19 @@
-"""Tests for CECI index persistence."""
+"""Tests for CECI index persistence (legacy dict blobs + compact v3)."""
 
+import numpy as np
 import pytest
 
 from repro import CECIMatcher, Graph
-from repro.core import Enumerator, dump_ceci_bytes, load_ceci, load_ceci_bytes, save_ceci
+from repro.core import (
+    CompactCECI,
+    Enumerator,
+    dump_ceci_bytes,
+    dump_store_bytes,
+    load_ceci,
+    load_ceci_bytes,
+    load_store_bytes,
+    save_ceci,
+)
 from repro.graph import inject_labels, power_law
 
 
@@ -20,7 +30,7 @@ def instance():
 class TestRoundTrip:
     def test_bytes_round_trip_preserves_structure(self, instance):
         query, data = instance
-        matcher = CECIMatcher(query, data)
+        matcher = CECIMatcher(query, data, store="dict")
         ceci = matcher.build()
         loaded = load_ceci_bytes(dump_ceci_bytes(ceci), data)
         assert loaded.pivots == ceci.pivots
@@ -31,7 +41,7 @@ class TestRoundTrip:
 
     def test_loaded_index_enumerates_identically(self, instance):
         query, data = instance
-        matcher = CECIMatcher(query, data)
+        matcher = CECIMatcher(query, data, store="dict")
         reference = sorted(matcher.match())
         loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
         got = sorted(Enumerator(loaded, symmetry=matcher.symmetry).collect())
@@ -44,12 +54,12 @@ class TestRoundTrip:
         path = str(tmp_path / "index.ceci")
         save_ceci(ceci, path)
         loaded = load_ceci(path, data)
-        assert loaded.pivots == ceci.pivots
+        assert list(loaded.pivots) == list(ceci.pivots)
 
     def test_string_labels_survive(self):
         data = Graph(4, [(0, 1), (1, 2), (2, 3)], labels=["C", "O", "C", "N"])
         query = Graph(2, [(0, 1)], labels=["C", "O"])
-        matcher = CECIMatcher(query, data)
+        matcher = CECIMatcher(query, data, store="dict")
         loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
         assert loaded.tree.query.labels_of(0) == frozenset({"C"})
 
@@ -60,7 +70,91 @@ class TestRoundTrip:
 
     def test_loaded_index_is_frozen(self, instance):
         query, data = instance
-        matcher = CECIMatcher(query, data)
+        matcher = CECIMatcher(query, data, store="dict")
         loaded = load_ceci_bytes(dump_ceci_bytes(matcher.build()), data)
         assert loaded.nte_sets is not None
         assert loaded.te_sets is not None
+
+
+class TestCompactFormat:
+    def test_store_bytes_round_trip_enumerates_identically(self, instance):
+        query, data = instance
+        matcher = CECIMatcher(query, data)  # store="compact" default
+        reference = sorted(matcher.match())
+        store = matcher.build()
+        assert isinstance(store, CompactCECI)
+        loaded = load_store_bytes(dump_store_bytes(store), data)
+        got = sorted(Enumerator(loaded, symmetry=matcher.symmetry).collect())
+        assert got == reference
+
+    def test_candidate_sets_identical_across_formats(self, instance):
+        query, data = instance
+        dict_ceci = CECIMatcher(query, data, store="dict").build()
+        store = CECIMatcher(query, data, store="compact").build()
+        loaded = load_store_bytes(dump_store_bytes(store), data)
+        for u in query.vertices():
+            assert sorted(int(v) for v in loaded.candidates(u)) == sorted(
+                dict_ceci.candidates(u)
+            )
+
+    def test_dump_from_dict_builder_freezes(self, instance):
+        query, data = instance
+        ceci = CECIMatcher(query, data, store="dict").build()
+        loaded = load_store_bytes(dump_store_bytes(ceci), data)
+        assert isinstance(loaded, CompactCECI)
+        assert list(loaded.pivots) == list(ceci.pivots)
+
+    def test_legacy_dump_rejects_compact_store(self, instance):
+        query, data = instance
+        store = CECIMatcher(query, data).build()
+        with pytest.raises(TypeError):
+            dump_ceci_bytes(store)
+
+    def test_mmap_load_serves_array_backed_candidates(
+        self, instance, tmp_path
+    ):
+        query, data = instance
+        matcher = CECIMatcher(query, data)
+        store = matcher.build()
+        path = str(tmp_path / "index.ceci")
+        save_ceci(store, path)
+        loaded = load_ceci(path, data, mmap=True)
+        # No dict reconstruction: the index is a CompactCECI and every
+        # candidate probe answers with an ndarray (a memmap view for
+        # non-empty blocks), never a rebuilt Python list.
+        assert isinstance(loaded, CompactCECI)
+        assert isinstance(loaded.pivots, np.ndarray)
+        mapped = 0
+        for u in query.vertices():
+            keys, _, values = loaded.te[u]
+            assert isinstance(keys, np.ndarray)
+            assert isinstance(values, np.ndarray)
+            mapped += sum(
+                1 for arr in (keys, values) if isinstance(arr, np.memmap)
+            )
+            for v_p in keys:
+                assert isinstance(loaded.te_values(u, int(v_p)), np.ndarray)
+        assert mapped > 0  # at least one block really is file-backed
+        reference = sorted(matcher.match())
+        got = sorted(Enumerator(loaded, symmetry=matcher.symmetry).collect())
+        assert got == reference
+
+    def test_te_only_cpi_shape_round_trips(self, instance, tmp_path):
+        # CPI-style index: TE candidates only, nte_built=False.
+        from repro.baselines.cflmatch import CFLMatcher
+
+        query, data = instance
+        matcher = CFLMatcher(query, data)  # store="compact" default
+        reference = sorted(matcher.match())
+        cpi = matcher._build().ceci
+        assert isinstance(cpi, CompactCECI)
+        assert not cpi.nte_built
+        path = str(tmp_path / "cpi.ceci")
+        save_ceci(cpi, path)
+        loaded = load_ceci(path, data)
+        assert isinstance(loaded, CompactCECI)
+        assert not loaded.nte_built
+        for u in query.vertices():
+            assert loaded.nte[u] == {}
+            assert np.array_equal(loaded.te[u][0], cpi.te[u][0])
+            assert np.array_equal(loaded.te[u][2], cpi.te[u][2])

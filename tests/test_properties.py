@@ -74,10 +74,9 @@ def test_completeness_survives_refinement_removals(query, data):
     ceci = matcher.build()
     for embedding in brute_force_embeddings(query, data):
         for u in query.vertices():
-            assert embedding[u] in ceci.cand[u] or ceci.cardinality[u].get(
-                embedding[u], 0
-            ) >= 0  # candidate must not have been refined away:
-            assert embedding[u] in ceci.cardinality[u]
+            # Candidate must not have been refined away: it still has a
+            # positive refinement cardinality in the (frozen) store.
+            assert ceci.cardinality_of(u, embedding[u]) >= 1
 
 
 @settings(max_examples=40, deadline=None)

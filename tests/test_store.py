@@ -1,0 +1,180 @@
+"""Tests for the two-phase index lifecycle (DESIGN.md §8).
+
+The dict builder and the frozen :class:`CompactCECI` must be
+observationally identical through the :class:`CECIStore` protocol —
+same candidates, same cardinalities, same embeddings — while the
+compact store's measured footprint must be at least 2x smaller.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CECIMatcher, Graph
+from repro.core import CompactCECI, Enumerator
+from repro.core.ceci import CECI
+from repro.core.estimate import cardinality_bound, estimate_embeddings
+from repro.core.store import CECIStore, encode_pairs, lookup_pairs
+from repro.graph import inject_labels, power_law
+from repro.parallel import parallel_match
+
+
+@pytest.fixture(scope="module")
+def instance():
+    data = inject_labels(
+        power_law(300, 5, seed=7, min_edges_per_vertex=1), 3, seed=7
+    )
+    query = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)],
+                  labels=[0, 1, 0, 2])
+    return query, data
+
+
+@pytest.fixture(scope="module")
+def stores(instance):
+    query, data = instance
+    dict_matcher = CECIMatcher(query, data, store="dict")
+    compact_matcher = CECIMatcher(query, data, store="compact")
+    return dict_matcher, dict_matcher.build(), compact_matcher, compact_matcher.build()
+
+
+class TestProtocol:
+    def test_both_representations_satisfy_the_protocol(self, stores):
+        _, dict_store, _, compact_store = stores
+        assert isinstance(dict_store, CECI)
+        assert isinstance(compact_store, CompactCECI)
+        assert isinstance(dict_store, CECIStore)
+        assert isinstance(compact_store, CECIStore)
+
+    def test_unknown_store_rejected(self, instance):
+        query, data = instance
+        with pytest.raises(ValueError, match="unknown index store"):
+            CECIMatcher(query, data, store="mmap")
+
+    def test_pivots_and_candidates_agree(self, stores):
+        _, dict_store, _, compact_store = stores
+        assert list(compact_store.pivots) == sorted(dict_store.pivots)
+        for u in dict_store.tree.query.vertices():
+            assert sorted(int(v) for v in compact_store.candidates(u)) == \
+                sorted(dict_store.candidates(u))
+
+    def test_te_and_nte_values_agree(self, stores):
+        _, dict_store, _, compact_store = stores
+        query = dict_store.tree.query
+        for u in query.vertices():
+            for v_p, values in dict_store.te[u].items():
+                got = compact_store.te_values(u, v_p)
+                assert list(got) == list(values)
+            for u_n, groups in dict_store.nte[u].items():
+                for v_n, values in groups.items():
+                    got = compact_store.nte_values(u, u_n, v_n)
+                    assert list(got) == list(values)
+            # Missing keys answer empty on both.
+            assert len(compact_store.te_values(u, -1)) == 0
+            assert len(dict_store.te_values(u, -1)) == 0
+
+    def test_cardinalities_agree(self, stores):
+        _, dict_store, _, compact_store = stores
+        for u in dict_store.tree.query.vertices():
+            for v, c in dict_store.cardinality[u].items():
+                assert compact_store.cardinality_of(u, v) == c
+            assert compact_store.cardinality_of(u, -1) == 0
+        assert compact_store.te_edge_count() == dict_store.te_edge_count()
+        assert compact_store.nte_edge_count() == dict_store.nte_edge_count()
+
+
+class TestZeroCopy:
+    def test_te_values_are_views_into_the_flat_buffer(self, stores):
+        _, _, _, compact_store = stores
+        probed = 0
+        for u in compact_store.tree.query.vertices():
+            keys, _, values = compact_store.te[u]
+            for v_p in keys[:5]:
+                got = compact_store.te_values(u, int(v_p))
+                if len(got) == 0:
+                    continue
+                assert np.shares_memory(got, values)
+                probed += 1
+        assert probed > 0
+
+    def test_lookup_pairs_empty_on_missing_key(self):
+        triple = encode_pairs({3: [1, 2], 9: [5]})
+        assert list(lookup_pairs(triple, 3)) == [1, 2]
+        assert list(lookup_pairs(triple, 9)) == [5]
+        assert len(lookup_pairs(triple, 4)) == 0
+        assert len(lookup_pairs(triple, 99)) == 0
+
+
+class TestEquivalence:
+    def test_embeddings_identical_across_stores(self, stores):
+        dict_matcher, _, compact_matcher, _ = stores
+        assert sorted(dict_matcher.match()) == sorted(compact_matcher.match())
+
+    def test_estimation_runs_on_both_stores(self, instance):
+        query, data = instance
+        bounds = []
+        for store in ("dict", "compact"):
+            matcher = CECIMatcher(query, data, store=store)
+            bounds.append(cardinality_bound(matcher))
+            result = estimate_embeddings(matcher, samples=50, seed=1)
+            assert result.estimate >= 0.0
+        assert bounds[0] == bounds[1]
+
+    def test_parallel_match_shares_the_frozen_store(self, instance):
+        query, data = instance
+        reference = sorted(CECIMatcher(query, data, store="dict").match())
+        matcher = CECIMatcher(query, data, store="compact")
+        embeddings, _ = parallel_match(matcher, workers=3)
+        assert sorted(embeddings) == reference
+
+    def test_array_kernel_engaged_on_compact_store(self, instance):
+        query, data = instance
+        matcher = CECIMatcher(
+            query, data, store="compact", use_intersection=True
+        )
+        matcher.match()
+        assert matcher.stats.kernel_array_calls > 0
+
+
+class TestFootprint:
+    def test_compact_at_least_2x_smaller(self, stores):
+        dict_matcher, dict_store, compact_matcher, compact_store = stores
+        dict_bytes = dict_store.memory_bytes()
+        compact_bytes = compact_store.memory_bytes()
+        assert compact_bytes > 0
+        assert dict_bytes >= 2 * compact_bytes, (
+            f"dict store {dict_bytes}B vs compact {compact_bytes}B: "
+            f"ratio {dict_bytes / compact_bytes:.2f}x < 2x"
+        )
+        # ...and the matchers publish the figures into MatchStats.
+        assert dict_matcher.stats.memory_bytes == dict_bytes
+        assert compact_matcher.stats.memory_bytes == compact_bytes
+
+    def test_freeze_phase_recorded(self, stores):
+        dict_matcher, _, compact_matcher, _ = stores
+        assert "freeze" in compact_matcher.stats.phase_seconds
+        assert "freeze" not in dict_matcher.stats.phase_seconds
+
+
+class TestPivotMaintenance:
+    def test_remove_candidate_keeps_pivots_sorted(self, stores):
+        _, dict_store, _, _ = stores
+        ceci = dict_store
+        before = list(ceci.pivots)
+        assert before == sorted(before)
+        assert len(before) >= 2
+
+    def test_cascade_delete_uses_set_discard(self, instance):
+        query, data = instance
+        ceci = CECIMatcher(query, data, store="dict").build()
+        root = ceci.tree.root
+        victim = ceci.pivots[0]
+        survivors = [p for p in ceci.pivots if p != victim]
+        ceci.remove_candidate(root, victim)
+        assert victim not in ceci._pivot_set
+        assert list(ceci.pivots) == survivors  # still sorted, no victim
+
+    def test_pivot_assignment_resets_mirror(self, instance):
+        query, data = instance
+        ceci = CECIMatcher(query, data, store="dict").build()
+        ceci.pivots = [5, 3, 3, 1]
+        assert ceci.pivots == [1, 3, 5]
+        assert ceci._pivot_set == {1, 3, 5}
