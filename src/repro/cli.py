@@ -7,9 +7,12 @@
                                         [--store {dict,compact}]
                                         [--timeout S] [--max-calls N]
                                         [--workers K] [--inject-faults SEED]
+                                        [--trace FILE.jsonl] [--progress]
+                                        [--metrics {json,prom}] [--json]
     python -m repro count    QUERY DATA [--limit N] [...same flags]
     python -m repro index    QUERY DATA OUT.ceci      # build + persist CECI
     python -m repro stats    QUERY DATA               # pipeline statistics
+    python -m repro trace    summarize FILE.jsonl [--json]
     python -m repro generate KIND OUT [--vertices N] [--edges-per-vertex M]
                                        [--labels K] [--seed S]
 
@@ -30,6 +33,16 @@ after refinement; ``dict`` keeps the mutable builder; see DESIGN.md §8).
 and ``--inject-faults SEED`` feeds it a seeded chaos
 :class:`~repro.resilience.faults.FaultPlan` — the embedding output must
 survive the injected crashes unchanged.
+
+Observability (DESIGN.md §9): ``--trace FILE.jsonl`` writes the run's
+phase records, nested spans and sampled kernel events as JSON lines —
+render the per-phase / per-worker breakdown with ``repro trace
+summarize FILE.jsonl``; ``--metrics {json,prom}`` dumps the full
+metrics registry to stderr after the run; ``--progress`` prints a
+heartbeat line (calls/s, embeddings/s, budget left, cardinality-bound
+ETA) on stderr during long enumerations.  ``--json`` (match/count)
+emits one machine-readable object (``"schema": 1``) on stdout and
+silences the stderr counter lines.
 """
 
 from __future__ import annotations
@@ -42,6 +55,13 @@ from typing import List, Optional
 
 from .core import CECIMatcher
 from .core.persist import save_ceci
+from .observability import (
+    ProgressReporter,
+    TraceError,
+    Tracer,
+    kernel_events,
+    summarize_trace,
+)
 from .resilience import Budget, FaultPlan
 from .graph import (
     Graph,
@@ -56,6 +76,11 @@ from .graph import (
 )
 
 __all__ = ["main"]
+
+#: Version stamped into every machine-readable stdout object
+#: (``stats``, ``match --json``, ``count --json``); bump on
+#: incompatible shape changes so downstream parsers can refuse cleanly.
+OUTPUT_SCHEMA = 1
 
 
 def _load_graph(path: str) -> Graph:
@@ -77,7 +102,10 @@ def _budget_from(args: argparse.Namespace) -> Optional[Budget]:
 
 
 def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
-    return CECIMatcher(
+    tracer = None
+    if getattr(args, "trace", None):
+        tracer = Tracer(args.trace)
+    matcher = CECIMatcher(
         _load_graph(args.query),
         _load_graph(args.data),
         order_strategy=args.order,
@@ -85,7 +113,28 @@ def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
         budget=_budget_from(args),
         kernel=getattr(args, "kernel", "auto"),
         store=getattr(args, "store", "compact"),
+        tracer=tracer,
     )
+    if getattr(args, "progress", False):
+        matcher.progress = ProgressReporter(
+            matcher.stats,
+            interval=getattr(args, "progress_interval", 1.0),
+            tracer=matcher.tracer if matcher.tracer.enabled else None,
+        )
+    return matcher
+
+
+def _emit_metrics(args: argparse.Namespace, stats) -> None:
+    """Dump the full metrics registry to stderr when ``--metrics`` asks
+    for it (stderr so machine-readable stdout stays clean)."""
+    fmt = getattr(args, "metrics", None)
+    if not fmt:
+        return
+    registry = stats.registry()
+    if fmt == "json":
+        print(json.dumps(registry.as_dict(), indent=2), file=sys.stderr)
+    else:
+        print(registry.to_prom(), file=sys.stderr, end="")
 
 
 def _print_kernel_stats(stats) -> None:
@@ -106,10 +155,11 @@ def _run_embeddings(args, matcher):
     stop_reason), going through the crash-safe thread executor when
     ``--workers`` asks for one."""
     workers = getattr(args, "workers", None) or 1
+    quiet = bool(getattr(args, "json", False))
     if workers > 1:
         from .parallel import parallel_match
 
-        if matcher.budget is not None:
+        if matcher.budget is not None and not quiet:
             print(
                 "# note: --timeout/--max-calls apply to the sequential "
                 "path; ignored under --workers",
@@ -118,13 +168,20 @@ def _run_embeddings(args, matcher):
         plan = None
         if args.inject_faults is not None:
             plan = FaultPlan.chaos(args.inject_faults, num_workers=workers)
+        if matcher.progress is not None:
+            matcher.progress.start()
+        # parallel_match folds every worker's counters into
+        # matcher.stats through the single MatchStats.merge path.
         embeddings, reports = parallel_match(
             matcher, workers=workers, limit=args.limit, fault_plan=plan
         )
-        for report in reports:
-            matcher.stats.merge(report.stats)
+        if matcher.progress is not None:
+            # Workers tick their own per-unit enumerators, not this
+            # reporter; the merged stats still close the run with one
+            # truthful summary line.
+            matcher.progress.finish(force=True)
         crashed = sum(1 for r in reports if r.crashed)
-        if crashed:
+        if crashed and not quiet:
             print(
                 f"# recovered from {crashed} injected worker crash(es): "
                 f"{matcher.stats.retries} retries, "
@@ -138,55 +195,104 @@ def _run_embeddings(args, matcher):
 
 def _cmd_match(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
-    started = time.perf_counter()
-    embeddings, truncated, stop_reason = _run_embeddings(args, matcher)
-    elapsed = time.perf_counter() - started
-    for embedding in embeddings:
-        print(" ".join(str(v) for v in embedding))
-    print(
-        f"# {len(embeddings)} embeddings in {elapsed:.3f}s "
-        f"({matcher.stats.recursive_calls} recursive calls)",
-        file=sys.stderr,
-    )
-    _print_kernel_stats(matcher.stats)
-    if truncated:
-        print(f"# truncated: {stop_reason}", file=sys.stderr)
-    return 0
+    try:
+        started = time.perf_counter()
+        with kernel_events(matcher.tracer):
+            embeddings, truncated, stop_reason = _run_embeddings(
+                args, matcher
+            )
+        elapsed = time.perf_counter() - started
+        if args.json:
+            print(json.dumps({
+                "schema": OUTPUT_SCHEMA,
+                "command": "match",
+                "count": len(embeddings),
+                "embeddings": [
+                    [int(v) for v in embedding] for embedding in embeddings
+                ],
+                "truncated": truncated,
+                "stop_reason": stop_reason,
+                "elapsed_seconds": elapsed,
+                "stats": matcher.stats.registry().as_dict()["metrics"],
+            }, indent=2))
+        else:
+            for embedding in embeddings:
+                print(" ".join(str(v) for v in embedding))
+            print(
+                f"# {len(embeddings)} embeddings in {elapsed:.3f}s "
+                f"({matcher.stats.recursive_calls} recursive calls)",
+                file=sys.stderr,
+            )
+            _print_kernel_stats(matcher.stats)
+            if truncated:
+                print(f"# truncated: {stop_reason}", file=sys.stderr)
+        _emit_metrics(args, matcher.stats)
+        return 0
+    finally:
+        matcher.tracer.close()
 
 
 def _cmd_count(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
-    started = time.perf_counter()
-    embeddings, truncated, stop_reason = _run_embeddings(args, matcher)
-    elapsed = time.perf_counter() - started
-    print(len(embeddings))
-    print(f"# counted in {elapsed:.3f}s", file=sys.stderr)
-    _print_kernel_stats(matcher.stats)
-    if truncated:
-        print(f"# truncated: {stop_reason}", file=sys.stderr)
-    return 0
+    try:
+        started = time.perf_counter()
+        with kernel_events(matcher.tracer):
+            embeddings, truncated, stop_reason = _run_embeddings(
+                args, matcher
+            )
+        elapsed = time.perf_counter() - started
+        if args.json:
+            print(json.dumps({
+                "schema": OUTPUT_SCHEMA,
+                "command": "count",
+                "count": len(embeddings),
+                "truncated": truncated,
+                "stop_reason": stop_reason,
+                "elapsed_seconds": elapsed,
+                "stats": matcher.stats.registry().as_dict()["metrics"],
+            }, indent=2))
+        else:
+            print(len(embeddings))
+            print(f"# counted in {elapsed:.3f}s", file=sys.stderr)
+            _print_kernel_stats(matcher.stats)
+            if truncated:
+                print(f"# truncated: {stop_reason}", file=sys.stderr)
+        _emit_metrics(args, matcher.stats)
+        return 0
+    finally:
+        matcher.tracer.close()
 
 
 def _cmd_index(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
-    ceci = matcher.build()
-    save_ceci(ceci, args.out)
-    print(
-        f"index written to {args.out}: {len(ceci.pivots)} clusters, "
-        f"{ceci.te_edge_count()} TE + {ceci.nte_edge_count()} NTE "
-        f"candidate edges",
-        file=sys.stderr,
-    )
-    return 0
+    try:
+        with kernel_events(matcher.tracer):
+            ceci = matcher.build()
+        save_ceci(ceci, args.out)
+        print(
+            f"index written to {args.out}: {len(ceci.pivots)} clusters, "
+            f"{ceci.te_edge_count()} TE + {ceci.nte_edge_count()} NTE "
+            f"candidate edges",
+            file=sys.stderr,
+        )
+        _emit_metrics(args, matcher.stats)
+        return 0
+    finally:
+        matcher.tracer.close()
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     matcher = _make_matcher(args)
-    result = matcher.run(limit=args.limit)
+    try:
+        with kernel_events(matcher.tracer):
+            result = matcher.run(limit=args.limit)
+    finally:
+        matcher.tracer.close()
     stats = matcher.stats
     query = matcher.query
     data = matcher.data
     print(json.dumps({
+        "schema": OUTPUT_SCHEMA,
         "embeddings": stats.embeddings_found,
         "truncated": result.truncated,
         "stop_reason": result.stop_reason,
@@ -221,6 +327,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         ),
         "phases_seconds": stats.phase_seconds,
     }, indent=2))
+    _emit_metrics(args, stats)
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    try:
+        print(summarize_trace(args.file, as_json=args.json))
+    except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -286,13 +402,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="SEED",
                        help="inject a seeded chaos FaultPlan into the "
                             "--workers executor (requires --workers >= 2)")
+        p.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                       help="write phase/span/kernel trace events as "
+                            "JSON lines (render with 'repro trace "
+                            "summarize FILE.jsonl')")
+        p.add_argument("--metrics", default=None, choices=["json", "prom"],
+                       help="dump the full metrics registry to stderr "
+                            "after the run")
+        p.add_argument("--progress", action="store_true",
+                       help="print a heartbeat line (calls/s, "
+                            "embeddings/s, budget left, ETA) on stderr "
+                            "during enumeration")
+        p.add_argument("--progress-interval", type=float, default=1.0,
+                       metavar="S",
+                       help="seconds between --progress heartbeats "
+                            "(default 1.0)")
 
     p_match = sub.add_parser("match", help="list embeddings")
     add_match_args(p_match)
+    p_match.add_argument("--json", action="store_true",
+                         help="emit one machine-readable object on stdout "
+                              "and silence the stderr counter lines")
     p_match.set_defaults(fn=_cmd_match)
 
     p_count = sub.add_parser("count", help="count embeddings")
     add_match_args(p_count)
+    p_count.add_argument("--json", action="store_true",
+                         help="emit one machine-readable object on stdout "
+                              "and silence the stderr counter lines")
     p_count.set_defaults(fn=_cmd_count)
 
     p_index = sub.add_parser("index", help="build and persist a CECI index")
@@ -303,6 +440,17 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="pipeline statistics as JSON")
     add_match_args(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
+
+    p_trace = sub.add_parser("trace", help="inspect trace files")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summ = trace_sub.add_parser(
+        "summarize",
+        help="per-phase / per-worker breakdown of a --trace JSONL file",
+    )
+    p_summ.add_argument("file", help="trace file written by --trace")
+    p_summ.add_argument("--json", action="store_true",
+                        help="emit the summary as JSON instead of a table")
+    p_summ.set_defaults(fn=_cmd_trace_summarize)
 
     p_gen = sub.add_parser("generate", help="generate a synthetic graph")
     p_gen.add_argument("kind", choices=["powerlaw", "kronecker", "erdos"])
@@ -329,6 +477,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--max-calls must be positive")
     if getattr(args, "workers", None) is not None and args.workers < 1:
         parser.error("--workers must be >= 1")
+    if getattr(args, "progress_interval", None) is not None and (
+        args.progress_interval < 0
+    ):
+        parser.error("--progress-interval must be >= 0")
     return args.fn(args)
 
 

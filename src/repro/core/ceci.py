@@ -191,11 +191,15 @@ class CECI:
             total += sys.getsizeof(card) + int_size * 2 * len(card)
         return total
 
-    def compact(self) -> "CompactCECI":
+    def compact(self, tracer=None) -> "CompactCECI":
         """Freeze this builder into the flat-array store (the second
-        phase of the index lifecycle — see DESIGN.md §8)."""
+        phase of the index lifecycle — see DESIGN.md §8).  An enabled
+        ``tracer`` gets one ``freeze:pack`` span around the packing."""
         from .store import CompactCECI
 
+        if tracer is not None and tracer.enabled:
+            with tracer.span("freeze:pack", vertices=len(self.tree.order)):
+                return CompactCECI.from_ceci(self)
         return CompactCECI.from_ceci(self)
 
     # ------------------------------------------------------------------

@@ -42,6 +42,7 @@ from ..kernels import (
     IntersectionCache,
     dispatch,
 )
+from ..observability.tracer import NULL_TRACER
 from ..resilience.budget import Budget, BudgetExhausted, BudgetTracker
 from .automorphism import SymmetryBreaker
 from .stats import MatchStats
@@ -85,6 +86,18 @@ class Enumerator:
         ``"merge"``, ``"gallop"`` or ``"bitset"``.
     cache_size:
         Entry bound of the TE∩NTE memo cache; ``0`` disables caching.
+    tracer:
+        Optional :class:`~repro.observability.tracer.Tracer`; when
+        enabled, each cluster enumerated via :meth:`collect` /
+        :meth:`embeddings` gets a (sampled) child span and the memo
+        cache's final state is recorded as an instant.  The default
+        null tracer costs one attribute check per cluster.
+    progress:
+        Optional
+        :class:`~repro.observability.progress.ProgressReporter`;
+        ticked once per recursive call.  Wiring happens by shadowing
+        the recursion entry points, so the disabled hot path carries
+        no per-call check at all.
     """
 
     def __init__(
@@ -97,6 +110,8 @@ class Enumerator:
         tracker: Optional[BudgetTracker] = None,
         kernel: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
+        tracer=None,
+        progress=None,
     ) -> None:
         if kernel not in KERNEL_CHOICES:
             raise ValueError(
@@ -117,6 +132,15 @@ class Enumerator:
         if tracker is None and budget is not None and not budget.unlimited:
             tracker = budget.tracker()
         self._tracker = tracker
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._progress = progress
+        if progress is not None:
+            # Shadow the recursive entry points with progress-ticked
+            # wrappers.  Recursion dispatches through the instance
+            # attribute, so every recursive call ticks — and the default
+            # hot path carries no per-call observability check at all.
+            self._collect = self._collect_observed
+            self._extend = self._extend_observed
         #: True once a budget axis has stopped an enumeration early.
         self.truncated = False
         #: The axis that tripped ("deadline", "max_calls", ...), if any.
@@ -127,6 +151,12 @@ class Enumerator:
         self.stop_reason = stop.reason
         self.stats.budget_stops += 1
 
+    def trace_cache_state(self) -> None:
+        """Record the memo cache's cumulative state as a trace instant
+        (no-op without an enabled tracer or a cache)."""
+        if self.tracer.enabled and self._cache is not None:
+            self.tracer.instant("cache", **self._cache.snapshot())
+
     # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
@@ -135,13 +165,17 @@ class Enumerator:
         if self._tracker is not None:
             self._tracker.start()
         remaining = [limit]
+        tracer = self.tracer
         try:
             for pivot in list(self.ceci.pivots):
-                yield from self._from_prefix((pivot,), remaining)
+                with tracer.cluster_span(pivot):
+                    yield from self._from_prefix((pivot,), remaining)
                 if remaining[0] is not None and remaining[0] <= 0:
                     return
         except BudgetExhausted as stop:
             self._note_budget_stop(stop)
+        finally:
+            self.trace_cache_state()
 
     def embeddings_from_unit(
         self, prefix: Sequence[int], limit: Optional[int] = None
@@ -180,30 +214,34 @@ class Enumerator:
         used: set = set()
         single = len(order) == 1
         tracker = self._tracker
+        tracer = self.tracer
         if tracker is not None:
             tracker.start()
         try:
             for pivot in self.ceci.pivots:
                 if not self.symmetry.admissible(root, pivot, mapping):
                     continue
-                if single:
-                    self.stats.recursive_calls += 1
-                    if tracker is not None:
-                        tracker.charge_call()
-                        tracker.charge_embedding(n)
-                    self.stats.embeddings_found += 1
-                    sink((pivot,))
-                else:
-                    mapping[root] = pivot
-                    used.add(pivot)
-                    budget = None if limit is None else limit - len(out)
-                    self._collect(1, mapping, used, sink, budget)
-                    used.discard(pivot)
-                    mapping[root] = -1
+                with tracer.cluster_span(pivot):
+                    if single:
+                        self.stats.recursive_calls += 1
+                        if tracker is not None:
+                            tracker.charge_call()
+                            tracker.charge_embedding(n)
+                        self.stats.embeddings_found += 1
+                        sink((pivot,))
+                    else:
+                        mapping[root] = pivot
+                        used.add(pivot)
+                        budget = None if limit is None else limit - len(out)
+                        self._collect(1, mapping, used, sink, budget)
+                        used.discard(pivot)
+                        mapping[root] = -1
                 if limit is not None and len(out) >= limit:
                     break
         except BudgetExhausted as stop:
             self._note_budget_stop(stop)
+        finally:
+            self.trace_cache_state()
         return out[:limit] if limit is not None else out
 
     def collect_from_unit(
@@ -245,6 +283,13 @@ class Enumerator:
             return budget is None or budget - 1 > 0
         left = self._collect(len(prefix), mapping, used, sink, budget)
         return left is None or left > 0
+
+    def _collect_observed(self, depth, mapping, used, sink, budget):
+        """Progress-ticked wrapper installed as ``self._collect`` when a
+        reporter is attached; recursion inside the plain body dispatches
+        back through the instance attribute, so each call ticks."""
+        self._progress.tick()
+        return Enumerator._collect(self, depth, mapping, used, sink, budget)
 
     def _collect(self, depth, mapping, used, sink, budget) -> Optional[int]:
         """Recursive collector; ``budget`` is remaining embeddings or
@@ -318,6 +363,12 @@ class Enumerator:
             mapping[u] = v
             used.add(v)
         yield from self._extend(len(prefix), mapping, used, remaining)
+
+    def _extend_observed(self, depth, mapping, used, remaining):
+        """Progress-ticked wrapper installed as ``self._extend`` when a
+        reporter is attached (one tick per recursive expansion)."""
+        self._progress.tick()
+        return Enumerator._extend(self, depth, mapping, used, remaining)
 
     def _extend(
         self,

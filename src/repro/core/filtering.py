@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..graph import Graph
+from ..observability.tracer import NULL_TRACER
 from .ceci import CECI
 from .query_tree import QueryTree
 from .root_selection import initial_candidates, select_root
@@ -58,16 +59,20 @@ def build_ceci(
     stats: Optional[MatchStats] = None,
     config: Optional[FilterConfig] = None,
     build_nte: bool = True,
+    tracer=None,
 ) -> CECI:
     """Run Algorithm 1 (TE construction + filtering) and the analogous
     NTE construction, returning the populated (not yet refined) CECI.
 
     ``pivots`` are the root candidates; when omitted they are recomputed
     with the LF/DF/NLCF scan.  ``build_nte=False`` produces a TE-only
-    index — the shape of CFLMatch's CPI, used by that baseline.
+    index — the shape of CFLMatch's CPI, used by that baseline.  An
+    enabled ``tracer`` gets one child span per frontier expansion (the
+    per-level decomposition of the filter phase).
     """
     config = config or FilterConfig()
     stats = stats if stats is not None else MatchStats()
+    tracer = NULL_TRACER if tracer is None else tracer
     query = tree.query
     ceci = CECI(tree, data)
 
@@ -83,13 +88,23 @@ def build_ceci(
     ceci.pivots = sorted(pivots)
     ceci.cand[tree.root] = set(pivots)
 
-    for u in tree.order[1:]:
-        _expand_tree_edge(ceci, u, stats, config)
+    if tracer.enabled:
+        for u in tree.order[1:]:
+            with tracer.span("filter:te", u=int(u)):
+                _expand_tree_edge(ceci, u, stats, config)
+    else:
+        for u in tree.order[1:]:
+            _expand_tree_edge(ceci, u, stats, config)
 
     ceci.nte_built = build_nte
     if build_nte:
-        for u_n, u in tree.non_tree_edges:
-            _expand_non_tree_edge(ceci, u_n, u)
+        if tracer.enabled:
+            for u_n, u in tree.non_tree_edges:
+                with tracer.span("filter:nte", u=int(u), u_n=int(u_n)):
+                    _expand_non_tree_edge(ceci, u_n, u)
+        else:
+            for u_n, u in tree.non_tree_edges:
+                _expand_non_tree_edge(ceci, u_n, u)
 
     # Sync the candidate sets to the surviving unions: cascade deletions
     # may have orphaned values whose every parent key is gone.

@@ -15,6 +15,8 @@ from typing import Iterator, List, Optional, Sequence
 
 from ..graph import Graph
 from ..kernels import DEFAULT_CACHE_SIZE, KERNEL_CHOICES
+from ..observability.progress import ProgressReporter
+from ..observability.tracer import NULL_TRACER
 from ..resilience.budget import (
     Budget,
     BudgetExhausted,
@@ -58,7 +60,16 @@ class CECIMatcher:
       layout — DESIGN.md §8); ``"dict"`` keeps the mutable builder;
     * ``budget`` — optional :class:`~repro.resilience.budget.Budget`
       capping the run (deadline / calls / embeddings / memory); use
-      :meth:`run` to get the explicit ``truncated`` flag.
+      :meth:`run` to get the explicit ``truncated`` flag;
+    * ``tracer`` — optional
+      :class:`~repro.observability.tracer.Tracer`; every phase and
+      per-cluster span of the run lands in its JSONL stream (the
+      default :data:`~repro.observability.tracer.NULL_TRACER` makes
+      this free);
+    * ``progress`` — optional
+      :class:`~repro.observability.progress.ProgressReporter`
+      heartbeat for long enumerations (the matcher fills in its
+      cardinality-bound ETA estimate and budget tracker).
     """
 
     def __init__(
@@ -76,6 +87,8 @@ class CECIMatcher:
         kernel: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
         store: str = "compact",
+        tracer=None,
+        progress: Optional[ProgressReporter] = None,
     ) -> None:
         if query.num_vertices == 0:
             raise ValueError("query graph is empty")
@@ -107,6 +120,8 @@ class CECIMatcher:
         self.stats = MatchStats()
         self.symmetry = SymmetryBreaker(query, enabled=break_automorphisms)
         self.budget = budget
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self.progress = progress
         self._ceci: Optional[CECIStore] = None
         self._tree: Optional[QueryTree] = None
 
@@ -137,30 +152,44 @@ class CECIMatcher:
             self.query, root, self.order_strategy, candidate_counts
         )
         self._tree = QueryTree(self.query, root, order)
-        self.stats.add_phase("preprocess", time.perf_counter() - started)
+        self._record_phase("preprocess", started)
 
         started = time.perf_counter()
         ceci = build_ceci(
-            self._tree, self.data, pivots, self.stats, self.filter_config
+            self._tree,
+            self.data,
+            pivots,
+            self.stats,
+            self.filter_config,
+            tracer=self.tracer,
         )
-        self.stats.add_phase("filter", time.perf_counter() - started)
+        self._record_phase("filter", started)
 
         started = time.perf_counter()
         if self.use_refinement:
-            refine_ceci(ceci, self.stats, kernel=self.kernel)
+            refine_ceci(ceci, self.stats, kernel=self.kernel, tracer=self.tracer)
         else:
             _assign_uniform_cardinality(ceci)
         ceci.freeze()
-        self.stats.add_phase("refine", time.perf_counter() - started)
+        self._record_phase("refine", started)
 
         index: CECIStore = ceci
         if self.store == "compact":
             started = time.perf_counter()
-            index = ceci.compact()
-            self.stats.add_phase("freeze", time.perf_counter() - started)
+            index = ceci.compact(tracer=self.tracer)
+            self._record_phase("freeze", started)
         self.stats.memory_bytes = index.memory_bytes()
         self._ceci = index
         return index
+
+    def _record_phase(self, name: str, started: float) -> None:
+        """Book one phase into the stats *and* the trace with the same
+        duration float — the invariant behind ``trace summarize``
+        agreeing with ``MatchStats.phase_seconds`` exactly."""
+        seconds = time.perf_counter() - started
+        self.stats.add_phase(name, seconds)
+        if self.tracer.enabled:
+            self.tracer.phase(name, started, seconds)
 
     @property
     def tree(self) -> QueryTree:
@@ -184,7 +213,31 @@ class CECIMatcher:
             tracker=tracker,
             kernel=self.kernel,
             cache_size=self.cache_size,
+            tracer=self.tracer,
+            progress=self._armed_progress(tracker),
         )
+
+    def _armed_progress(
+        self, tracker: Optional[BudgetTracker] = None
+    ) -> Optional[ProgressReporter]:
+        """The configured progress reporter with its derived fields
+        filled in: the cardinality-bound ETA estimate (free once the
+        index is built — :mod:`repro.core.estimate`), the budget
+        tracker, and the tracer for mirrored ``progress`` instants."""
+        progress = self.progress
+        if progress is None:
+            return None
+        if progress.total_estimate is None:
+            from .estimate import cardinality_bound
+
+            progress.total_estimate = int(cardinality_bound(self))
+        if progress.tracker is None and tracker is not None:
+            progress.tracker = tracker
+        if progress.tracer is None and self.tracer.enabled:
+            progress.tracer = self.tracer
+        # Arm the clock now so the final ``(done)`` line of runs shorter
+        # than ``check_every`` calls still reports a real elapsed time.
+        return progress.start()
 
     # ------------------------------------------------------------------
     # Results
@@ -196,7 +249,8 @@ class CECIMatcher:
         try:
             yield from self.enumerator().embeddings(limit)
         finally:
-            self.stats.add_phase("enumerate", time.perf_counter() - started)
+            self._record_phase("enumerate", started)
+            self._finish_progress()
 
     def match(self, limit: Optional[int] = None) -> List[Embedding]:
         """All embeddings (or the first ``limit``) as a list (uses the
@@ -206,7 +260,12 @@ class CECIMatcher:
         try:
             return enumerator.collect(limit)
         finally:
-            self.stats.add_phase("enumerate", time.perf_counter() - started)
+            self._record_phase("enumerate", started)
+            self._finish_progress()
+
+    def _finish_progress(self) -> None:
+        if self.progress is not None:
+            self.progress.finish()
 
     def count(self, limit: Optional[int] = None) -> int:
         """Embedding count (fast path; embeddings are materialized in
@@ -243,7 +302,8 @@ class CECIMatcher:
         try:
             embeddings = enumerator.collect(limit)
         finally:
-            self.stats.add_phase("enumerate", time.perf_counter() - started)
+            self._record_phase("enumerate", started)
+            self._finish_progress()
         truncated = enumerator.truncated
         exhausted = not truncated and (
             limit is None or len(embeddings) < limit

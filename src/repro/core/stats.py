@@ -10,10 +10,16 @@ collects all of them during one ``match`` run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Tuple
 
-__all__ = ["MatchStats", "BYTES_PER_CANDIDATE_EDGE"]
+from ..observability.metrics import MetricSpec, MetricsRegistry
+
+__all__ = [
+    "MatchStats",
+    "BYTES_PER_CANDIDATE_EDGE",
+    "match_metric_specs",
+]
 
 #: The paper stores each candidate edge in 8 bytes ("8 bytes is used to
 #: store each edge" — Section 6.4); index sizes are reported on that basis.
@@ -114,35 +120,77 @@ class MatchStats:
         """Accumulate wall-clock time into a named phase."""
         self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
 
+    def registry(self) -> MetricsRegistry:
+        """Project these counters into a :class:`MetricsRegistry` — the
+        spec table declares each field's kind and merge semantic, so the
+        registry is the canonical typed form of a run's telemetry."""
+        reg = MetricsRegistry(match_metric_specs())
+        for spec in match_metric_specs():
+            if spec.labeled:
+                for label, value in getattr(self, spec.name).items():
+                    reg.inc(spec.name, value, label=label)
+            elif spec.kind == "gauge":
+                reg.set_gauge(spec.name, getattr(self, spec.name))
+            else:
+                reg.inc(spec.name, getattr(self, spec.name))
+        return reg
+
+    def apply_registry(self, registry: MetricsRegistry) -> None:
+        """Load field values back from a registry (inverse of
+        :meth:`registry`)."""
+        for spec in match_metric_specs():
+            if spec.labeled:
+                setattr(self, spec.name, dict(registry.labels(spec.name)))
+            elif spec.kind == "gauge":
+                setattr(self, spec.name, int(registry.get(spec.name)))
+            else:
+                setattr(self, spec.name, int(registry.get(spec.name)))
+
     def merge(self, other: "MatchStats") -> None:
-        """Fold another stats object into this one (per-worker merge)."""
-        self.recursive_calls += other.recursive_calls
-        self.embeddings_found += other.embeddings_found
-        self.intersections += other.intersections
-        self.edge_verifications += other.edge_verifications
-        self.kernel_merge_calls += other.kernel_merge_calls
-        self.kernel_gallop_calls += other.kernel_gallop_calls
-        self.kernel_bitset_calls += other.kernel_bitset_calls
-        self.kernel_array_calls += other.kernel_array_calls
-        self.cache_hits += other.cache_hits
-        self.cache_misses += other.cache_misses
-        self.cache_evictions += other.cache_evictions
-        self.candidates_initial += other.candidates_initial
-        self.removed_by_label += other.removed_by_label
-        self.removed_by_degree += other.removed_by_degree
-        self.removed_by_nlc += other.removed_by_nlc
-        self.removed_by_cascade += other.removed_by_cascade
-        self.removed_by_refinement += other.removed_by_refinement
-        self.te_candidate_edges += other.te_candidate_edges
-        self.nte_candidate_edges += other.nte_candidate_edges
-        # Workers share one index, so the footprint is the peak, not a sum.
-        self.memory_bytes = max(self.memory_bytes, other.memory_bytes)
-        self.budget_stops += other.budget_stops
-        self.retries += other.retries
-        self.reassignments += other.reassignments
-        self.worker_crashes += other.worker_crashes
-        self.machine_crashes += other.machine_crashes
-        self.messages_dropped += other.messages_dropped
-        self.steals += other.steals
-        for phase, seconds in other.phase_seconds.items():
-            self.add_phase(phase, seconds)
+        """Fold another stats object into this one (per-worker /
+        per-machine merge).  Delegates to the single
+        :meth:`MetricsRegistry.merge` implementation, which applies each
+        field's declared semantic: work counters and phase timings sum,
+        while ``memory_bytes`` keeps the peak (workers share one index,
+        so the footprint is a max, not a sum)."""
+        self.apply_registry(self.registry().merge(other.registry()))
+
+
+#: Fields whose merge semantic is "peak survives" rather than "sum".
+_PEAK_FIELDS = frozenset({"memory_bytes"})
+
+_MATCH_METRIC_SPECS: Tuple[MetricSpec, ...] = ()
+
+
+def match_metric_specs() -> Tuple[MetricSpec, ...]:
+    """The spec table for :class:`MatchStats`, derived from its fields —
+    adding a dataclass field is all it takes to get a merged, dumpable
+    metric (no second copy of the list to keep in sync)."""
+    global _MATCH_METRIC_SPECS
+    if not _MATCH_METRIC_SPECS:
+        specs = []
+        for spec_field in fields(MatchStats):
+            if spec_field.name == "phase_seconds":
+                specs.append(
+                    MetricSpec(
+                        "phase_seconds",
+                        kind="counter",
+                        merge="sum",
+                        labeled=True,
+                        label_name="phase",
+                        help="Wall-clock seconds per matching phase.",
+                    )
+                )
+            elif spec_field.name in _PEAK_FIELDS:
+                specs.append(
+                    MetricSpec(
+                        spec_field.name,
+                        kind="gauge",
+                        merge="max",
+                        help="Measured resident bytes of the index (peak).",
+                    )
+                )
+            else:
+                specs.append(MetricSpec(spec_field.name))
+        _MATCH_METRIC_SPECS = tuple(specs)
+    return _MATCH_METRIC_SPECS

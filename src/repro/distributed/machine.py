@@ -49,6 +49,16 @@ class MachineReport:
     #: Orphaned clusters of crashed machines this machine adopted.
     reassigned: int = 0
 
+    # --- real wall-clock telemetry (observability layer) ----------------
+    #: Measured seconds building + refining (+ freezing) this machine's
+    #: CECI — the simulated ``construction_*`` costs above model the
+    #: paper's cluster, these measure this process.
+    construction_seconds: float = 0.0
+    #: Measured seconds enumerating this machine's own clusters.
+    enumeration_seconds: float = 0.0
+    #: Recursive calls performed enumerating this machine's clusters.
+    recursive_calls: int = 0
+
     @property
     def construction_total(self) -> float:
         """Total construction-phase cost."""

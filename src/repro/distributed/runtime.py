@@ -36,6 +36,7 @@ sequential result in the test suite, fault plans included.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
@@ -49,6 +50,7 @@ from ..core.automorphism import SymmetryBreaker
 from ..core.stats import MatchStats
 from ..core.store import STORE_CHOICES
 from ..graph import Graph
+from ..observability.tracer import NULL_TRACER
 from ..resilience.faults import FaultPlan
 from ..resilience.recovery import RecoveryLog, RetryPolicy
 from .machine import MachineReport
@@ -137,6 +139,14 @@ class DistributedCECI:
     message drops and stragglers; ``max_retries`` bounds how many times
     one cluster may be re-adopted after crashes before it is reported
     failed.
+
+    ``tracer`` (optional) receives every machine's spans and phases,
+    tagged ``machine=m`` — the per-machine streams merge into one trace
+    file, and the run's real wall-clock filter / refine / enumerate
+    phase records land both there and in ``DistributedResult.stats``
+    with identical durations.  Per-machine construction and per-cluster
+    enumeration counters are folded into the result's stats through the
+    single :meth:`~repro.core.stats.MatchStats.merge` path.
     """
 
     def __init__(
@@ -150,6 +160,7 @@ class DistributedCECI:
         fault_plan: Optional[FaultPlan] = None,
         max_retries: int = 2,
         store: str = "compact",
+        tracer=None,
     ) -> None:
         if mode not in ("memory", "shared"):
             raise ValueError(f"unknown storage mode {mode!r}")
@@ -167,6 +178,7 @@ class DistributedCECI:
         self.fault_plan = fault_plan
         self.retry_policy = RetryPolicy(max_retries)
         self.store = store
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def run(self) -> DistributedResult:
         """Execute the full distributed pipeline."""
@@ -224,40 +236,78 @@ class DistributedCECI:
                 machine_clusters.append([])
                 continue
             tracked = storage.graph_for_machine(m)
+            mtracer = (
+                self.tracer.scoped(machine=m)
+                if self.tracer.enabled
+                else self.tracer
+            )
             io_before = getattr(storage, "per_machine_io", {}).get(m, 0.0)
-            build_stats = MatchStats()
-            ceci = build_ceci(tree, tracked, my_pivots, build_stats)
-            refine_ceci(ceci, build_stats)
+            machine_stats = MatchStats()
+
+            def _machine_phase(name: str, started: float) -> float:
+                # Same float into the stats and the machine-tagged trace
+                # record — the distributed leg of the stats/trace
+                # agreement invariant.
+                seconds = time.perf_counter() - started
+                machine_stats.add_phase(name, seconds)
+                if mtracer.enabled:
+                    mtracer.phase(name, started, seconds)
+                return seconds
+
+            started = time.perf_counter()
+            ceci = build_ceci(
+                tree, tracked, my_pivots, machine_stats, tracer=mtracer
+            )
+            report.construction_seconds += _machine_phase("filter", started)
+
+            started = time.perf_counter()
+            refine_ceci(ceci, machine_stats, tracer=mtracer)
+            report.construction_seconds += _machine_phase("refine", started)
             io_after = getattr(storage, "per_machine_io", {}).get(m, 0.0)
             report.construction_io = io_after - io_before
             report.construction_compute = FILTER_OP_COST * (
-                build_stats.candidates_initial
-                + build_stats.te_candidate_edges
-                + build_stats.nte_candidate_edges
+                machine_stats.candidates_initial
+                + machine_stats.te_candidate_edges
+                + machine_stats.nte_candidate_edges
             )
             if self.store == "compact":
                 # Freeze before enumeration: the machine's runtime index
                 # — and the payload a placement would ship to it — is
                 # its clusters' flat candidate-array slices, not pickled
                 # dicts.
-                ceci = ceci.compact()
+                started = time.perf_counter()
+                ceci = ceci.compact(tracer=mtracer)
+                report.construction_seconds += _machine_phase(
+                    "freeze", started
+                )
             report.index_bytes = ceci.memory_bytes()
             report.shipped_bytes = report.index_bytes
             storage.register_index_bytes(m, report.index_bytes)
 
             clusters: List[Tuple[int, float]] = []
+            started = time.perf_counter()
             for pivot in ceci.pivots:
                 pivot = int(pivot)
                 cluster_stats = MatchStats()
-                cluster_enum = Enumerator(
-                    ceci, symmetry=self.symmetry, stats=cluster_stats
-                )
-                found = list(cluster_enum.embeddings_from_unit((pivot,)))
+                with mtracer.cluster_span(pivot):
+                    cluster_enum = Enumerator(
+                        ceci,
+                        symmetry=self.symmetry,
+                        stats=cluster_stats,
+                        tracer=mtracer,
+                    )
+                    found = list(cluster_enum.embeddings_from_unit((pivot,)))
                 cluster_embeddings[pivot] = found
                 clusters.append(
                     (pivot, ENUM_OP_COST * cluster_stats.recursive_calls)
                 )
+                machine_stats.merge(cluster_stats)
+            report.enumeration_seconds = _machine_phase("enumerate", started)
+            report.recursive_calls = machine_stats.recursive_calls
             machine_clusters.append(clusters)
+            # One merge path for the machine -> run fold: counters sum,
+            # phase timings sum, memory_bytes keeps the peak.
+            stats.merge(machine_stats)
 
         construction_makespan = max(
             (r.construction_total for r in reports), default=0.0

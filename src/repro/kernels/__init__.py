@@ -23,8 +23,10 @@ from .intersect import (
     intersect_gallop,
     intersect_merge,
     intersect_ndarray,
+    kernel_observer,
     maybe_assert_sorted,
     set_check_sorted,
+    set_kernel_observer,
     sorted_checks_enabled,
 )
 
@@ -44,7 +46,9 @@ __all__ = [
     "intersect_gallop",
     "intersect_merge",
     "intersect_ndarray",
+    "kernel_observer",
     "maybe_assert_sorted",
     "set_check_sorted",
+    "set_kernel_observer",
     "sorted_checks_enabled",
 ]

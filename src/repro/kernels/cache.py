@@ -91,6 +91,24 @@ class IntersectionCache:
                 self._stats.cache_evictions += 1
         data[key] = value
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over probes (0.0 before any probe)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters + occupancy as one JSON-friendly dict — what the
+        tracing layer records as a ``cache`` instant event."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._data),
+            "maxsize": self.maxsize,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         self._data.clear()

@@ -53,8 +53,10 @@ __all__ = [
     "intersect_gallop",
     "intersect_bitset",
     "intersect_ndarray",
+    "kernel_observer",
     "maybe_assert_sorted",
     "set_check_sorted",
+    "set_kernel_observer",
     "sorted_checks_enabled",
 ]
 
@@ -93,6 +95,28 @@ def set_check_sorted(enabled: bool) -> None:
 def sorted_checks_enabled() -> bool:
     """Whether kernels currently assert their inputs are sorted."""
     return _check_sorted
+
+
+#: Optional dispatch observer ``fn(name, lists, result)`` — the hook the
+#: tracing layer attaches to (see ``repro.observability.kernel_events``).
+#: A module-level slot instead of a dispatch parameter keeps the hot path
+#: at one ``is None`` check when nothing is listening.
+_KERNEL_OBSERVER = None
+
+
+def set_kernel_observer(observer):
+    """Install ``observer(name, lists, result)`` on every non-trivial
+    dispatch; pass ``None`` to detach.  Returns the previous observer so
+    callers can restore it."""
+    global _KERNEL_OBSERVER
+    previous = _KERNEL_OBSERVER
+    _KERNEL_OBSERVER = observer
+    return previous
+
+
+def kernel_observer():
+    """The currently installed dispatch observer (or ``None``)."""
+    return _KERNEL_OBSERVER
 
 
 def maybe_assert_sorted(lists: Sequence[SortedList]) -> None:
@@ -381,7 +405,10 @@ def dispatch(
             and isinstance(b, _np.ndarray)
         ):
             # Compact-store slices: stay in array land, zero boxing.
-            return "array", intersect_ndarray(lists)
+            result = intersect_ndarray(lists)
+            if _KERNEL_OBSERVER is not None:
+                _KERNEL_OBSERVER("array", lists, result)
+            return "array", result
         if kernel == "auto":
             na = len(a)
             nb = len(b)
@@ -407,7 +434,10 @@ def dispatch(
                     f"unknown intersection kernel {kernel!r}; "
                     f"expected one of {KERNEL_CHOICES}"
                 )
-        return name, _KERNELS[name](lists)
+        result = _KERNELS[name](lists)
+        if _KERNEL_OBSERVER is not None:
+            _KERNEL_OBSERVER(name, lists, result)
+        return name, result
     if not lists:
         return "trivial", []
     if len(lists) == 1:
@@ -421,7 +451,10 @@ def dispatch(
     if kernel == "auto" and _np is not None and all(
         isinstance(values, _np.ndarray) for values in lists
     ):
-        return "array", intersect_ndarray(lists)
+        result = intersect_ndarray(lists)
+        if _KERNEL_OBSERVER is not None:
+            _KERNEL_OBSERVER("array", lists, result)
+        return "array", result
     if kernel == "auto":
         name = choose_kernel(lists)
     elif kernel in _KERNELS:
@@ -431,7 +464,10 @@ def dispatch(
             f"unknown intersection kernel {kernel!r}; "
             f"expected one of {KERNEL_CHOICES}"
         )
-    return name, _KERNELS[name](lists)
+    result = _KERNELS[name](lists)
+    if _KERNEL_OBSERVER is not None:
+        _KERNEL_OBSERVER(name, lists, result)
+    return name, result
 
 
 def intersect(lists: Sequence[SortedList], kernel: str = "auto") -> SortedList:

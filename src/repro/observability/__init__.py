@@ -1,0 +1,78 @@
+"""Observability: tracing spans, a typed metrics registry, and live
+progress — DESIGN.md §9.
+
+The paper's evaluation decomposes every claim into phases (filtering /
+refinement / enumeration — Figures 15, 19, 20) and search-space proxies
+(recursive calls — Figure 18).  This package is the subsystem that
+produces those decompositions for any run of this repo:
+
+* :class:`Tracer` / :class:`NullTracer` — nested spans and instant
+  events written as JSON lines with monotonic timestamps; the null
+  tracer is the default on every layer so the hot path pays (at most)
+  one attribute check when tracing is off.
+* :class:`MetricsRegistry` / :class:`MetricSpec` — named counters,
+  gauges and histograms with *declared* merge semantics; the single
+  ``merge()`` implementation behind ``MatchStats.merge`` and the
+  worker / machine folds (sum for work counters, peak for
+  ``memory_bytes``).
+* :class:`ProgressReporter` — a heartbeat line for long enumerations
+  (calls/s, embeddings/s, budget remaining, cardinality-bound ETA).
+* :func:`summarize_trace` — validation + the per-phase / per-worker
+  breakdown behind ``repro trace summarize``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .metrics import METRICS_SCHEMA, MetricSpec, MetricsRegistry
+from .progress import ProgressReporter
+from .summarize import (
+    TraceError,
+    TraceSummary,
+    read_trace,
+    render_summary,
+    summarize_trace,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, TRACE_SCHEMA, Tracer
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricSpec",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProgressReporter",
+    "Span",
+    "TRACE_SCHEMA",
+    "TraceError",
+    "TraceSummary",
+    "Tracer",
+    "kernel_events",
+    "read_trace",
+    "render_summary",
+    "summarize_trace",
+]
+
+
+@contextmanager
+def kernel_events(tracer):
+    """Route sampled kernel-dispatch events into ``tracer`` for the
+    duration of the block (restores the previous observer on exit).
+
+    The kernel suite exposes one module-level observer hook
+    (:func:`repro.kernels.intersect.set_kernel_observer`) so its hot
+    dispatch path never needs a tracer parameter; this context manager
+    is the supported way to connect a traced run to it.  A disabled
+    tracer installs nothing.
+    """
+    if not tracer.enabled:
+        yield tracer
+        return
+    from ..kernels.intersect import set_kernel_observer
+
+    previous = set_kernel_observer(tracer.observe_kernel)
+    try:
+        yield tracer
+    finally:
+        set_kernel_observer(previous)

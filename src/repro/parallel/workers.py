@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..core.clusters import WorkUnit
@@ -127,6 +128,15 @@ def parallel_match(
     :class:`ParallelExecutionError` instead of returning a short set.
     Recovery accounting lands in ``matcher.stats`` (``retries``,
     ``reassignments``, ``worker_crashes``).
+
+    On success every worker's counters are folded into ``matcher.stats``
+    through the one :meth:`~repro.core.stats.MatchStats.merge` path
+    (work counters sum, ``memory_bytes`` keeps the peak), so callers
+    read one consolidated stats object; per-worker numbers stay
+    available on the reports.  With a traced matcher each unit attempt
+    runs under a worker-tagged ``unit`` span and books its wall time as
+    a worker-tagged ``enumerate`` phase — the per-worker bars of
+    ``repro trace summarize``.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -143,6 +153,7 @@ def parallel_match(
     # zero-copy slices of the same buffers — nothing is pickled or
     # duplicated per worker.
     ceci = matcher.build()
+    tracer = matcher.tracer
     reports = [WorkerReport(w) for w in range(workers)]
     state = _RunState(limit)
     retry_policy = RetryPolicy(max_retries)
@@ -158,6 +169,7 @@ def parallel_match(
                 raise InjectedCrash("worker", worker)
             if fault_plan.worker_error_at(index):
                 raise InjectedUnitError(worker, index)
+        wtracer = tracer.scoped(worker=worker) if tracer.enabled else tracer
         enumerator = Enumerator(
             ceci,
             symmetry=matcher.symmetry,
@@ -165,12 +177,26 @@ def parallel_match(
             stats=report.stats,
             kernel=matcher.kernel,
             cache_size=matcher.cache_size,
+            tracer=wtracer,
         )
         buffer: List[Tuple[int, ...]] = []
-        for embedding in enumerator.embeddings_from_unit(unit.prefix):
-            buffer.append(embedding)
-            if state.stop.is_set():
-                break
+        started = time.perf_counter()
+        try:
+            with wtracer.span(
+                "unit", prefix=[int(v) for v in unit.prefix]
+            ):
+                for embedding in enumerator.embeddings_from_unit(unit.prefix):
+                    buffer.append(embedding)
+                    if state.stop.is_set():
+                        break
+        finally:
+            # Book the attempt's wall time whether it finished or raised
+            # — stats and trace get the same float, so the per-worker
+            # breakdown of ``trace summarize`` matches the merged stats.
+            seconds = time.perf_counter() - started
+            report.stats.add_phase("enumerate", seconds)
+            if wtracer.enabled:
+                wtracer.phase("enumerate", started, seconds)
         state.commit(report, buffer)
         # Completed *and* limit-stopped units both count as processed —
         # the unit occupied this worker either way.
@@ -315,4 +341,5 @@ def parallel_match(
     embeddings: List[Tuple[int, ...]] = []
     for report in reports:
         embeddings.extend(report.embeddings)
+        matcher.stats.merge(report.stats)
     return embeddings, reports
