@@ -1,0 +1,58 @@
+"""Service benchmark: warm-vs-cold index reuse, latency, throughput.
+
+Runs the same deterministic three-phase workload as ``repro
+bench-service`` (identical defaults: 10k-vertex power-law data graph,
+24 labels, 6 query classes, 30 mixed open-loop requests) and archives
+the report as ``benchmarks/results/BENCH_service.json`` — the file the
+CI service job validates.
+
+The acceptance bar is the PR's headline claim: a warm request (index
+served from the cross-query cache) must complete at least
+``MIN_WARM_SPEEDUP``x faster than its cold build, and every warm-phase
+request must actually ride the cache's hit path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.graph import inject_labels
+from repro.graph.generators import power_law
+from repro.service import MatchService, run_benchmark
+
+#: Warm requests must run at least this many times faster than cold.
+MIN_WARM_SPEEDUP = 3.0
+
+
+def test_service_bench(results_dir):
+    data = inject_labels(power_law(10000, 3, seed=7), 24, seed=7)
+    with MatchService(data, workers=2) as service:
+        report = run_benchmark(
+            service,
+            num_queries=6,
+            mixed_requests=30,
+            seed=0,
+            min_vertices=6,
+            max_vertices=8,
+            max_embeddings=200,
+        )
+
+    assert report["schema"] == 1
+    assert report["warm_speedup"] >= MIN_WARM_SPEEDUP, (
+        f"warm path only {report['warm_speedup']:.2f}x faster than cold "
+        f"(bar: {MIN_WARM_SPEEDUP}x) — index reuse has regressed"
+    )
+    assert all(tag == "hit" for tag in report["warm_cache_tags"]), (
+        report["warm_cache_tags"]
+    )
+    statuses = report["statuses"]
+    assert statuses["ok"] == 2 * 6 + 30
+    assert statuses["rejected"] == statuses["failed"] == 0
+    assert report["index_cache"]["misses"] == 6
+    assert report["throughput_rps"] > 0
+
+    path = os.path.join(results_dir, "BENCH_service.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

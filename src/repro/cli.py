@@ -15,6 +15,11 @@
     python -m repro trace    summarize FILE.jsonl [--json]
     python -m repro generate KIND OUT [--vertices N] [--edges-per-vertex M]
                                        [--labels K] [--seed S]
+    python -m repro serve    DATA [--workers K] [--max-pending N]
+                                  [--index-capacity N] [--spill-dir DIR]
+                                  [--metrics {json,prom}]
+    python -m repro bench-service [--data DATA] [--queries N]
+                                  [--requests N] [--out BENCH_service.json]
 
 ``QUERY`` and ``DATA`` are graph files; format chosen by extension:
 ``.graph`` (labeled t/v/e rows), ``.csr`` (binary CSR), anything else is
@@ -331,6 +336,76 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_from(args: argparse.Namespace, data: Graph):
+    from .service import MatchService
+
+    return MatchService(
+        data,
+        workers=args.workers or 2,
+        max_pending=args.max_pending,
+        index_capacity=args.index_capacity,
+        spill_dir=args.spill_dir,
+        order_strategy=args.order,
+    )
+
+
+def _emit_service_metrics(args: argparse.Namespace, service) -> None:
+    fmt = getattr(args, "metrics", None)
+    if not fmt:
+        return
+    if fmt == "json":
+        print(json.dumps(service.snapshot(), indent=2), file=sys.stderr)
+    else:
+        print(service.metrics.to_prom(), file=sys.stderr, end="")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    data = _load_graph(args.data)
+    with _service_from(args, data) as service:
+        handled = serve(service, sys.stdin, sys.stdout)
+        print(f"# served {handled} requests", file=sys.stderr)
+        _emit_service_metrics(args, service)
+    return 0
+
+
+def _cmd_bench_service(args: argparse.Namespace) -> int:
+    from .service.loadgen import run_benchmark
+
+    if args.data:
+        data = _load_graph(args.data)
+    else:
+        data = inject_labels(
+            power_law(args.vertices, 3, seed=args.graph_seed),
+            args.labels,
+            seed=args.graph_seed,
+        )
+    with _service_from(args, data) as service:
+        report = run_benchmark(
+            service,
+            num_queries=args.queries,
+            mixed_requests=args.requests,
+            seed=args.seed,
+            min_vertices=args.min_vertices,
+            max_vertices=args.max_vertices,
+            max_embeddings=args.max_embeddings,
+        )
+        _emit_service_metrics(args, service)
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    print(
+        f"# warm speedup {report['warm_speedup']:.1f}x, "
+        f"p95 latency {report['latency']['p95_seconds'] * 1e3:.1f}ms, "
+        f"{report['throughput_rps']:.0f} req/s",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     try:
         print(summarize_trace(args.file, as_json=args.json))
@@ -440,6 +515,66 @@ def _build_parser() -> argparse.ArgumentParser:
     p_stats = sub.add_parser("stats", help="pipeline statistics as JSON")
     add_match_args(p_stats)
     p_stats.set_defaults(fn=_cmd_stats)
+
+    def add_service_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=None, metavar="K",
+                       help="service worker threads (default 2)")
+        p.add_argument("--max-pending", type=int, default=64,
+                       help="admission limit: requests beyond this many "
+                            "in flight are shed with status 'rejected'")
+        p.add_argument("--index-capacity", type=int, default=32,
+                       help="cross-query index cache entries (LRU)")
+        p.add_argument("--spill-dir", default=None, metavar="DIR",
+                       help="spill evicted indexes as CECIIDX3 blobs "
+                            "here (the cache's warm tier)")
+        p.add_argument("--order", default="bfs",
+                       choices=["bfs", "edge_ranked", "path_ranked"],
+                       help="service-wide matching-order strategy")
+        p.add_argument("--metrics", default=None, choices=["json", "prom"],
+                       help="dump the service metrics registry and "
+                            "cache snapshots to stderr on shutdown")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="resident query service over one data graph "
+             "(JSON lines on stdin/stdout)",
+    )
+    p_serve.add_argument("data", help="data graph file")
+    add_service_args(p_serve)
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench-service",
+        help="deterministic open-loop service benchmark "
+             "(emits BENCH_service.json)",
+    )
+    p_bench.add_argument("--data", default=None,
+                         help="data graph file (default: generate a "
+                              "labeled power-law graph)")
+    p_bench.add_argument("--vertices", type=int, default=10000,
+                         help="generated data graph size")
+    p_bench.add_argument("--labels", type=int, default=24,
+                         help="generated data graph label count")
+    p_bench.add_argument("--graph-seed", type=int, default=7,
+                         help="generated data graph seed")
+    p_bench.add_argument("--queries", type=int, default=6,
+                         help="distinct queries in the workload")
+    p_bench.add_argument("--requests", type=int, default=30,
+                         help="open-loop mixed-phase request count")
+    p_bench.add_argument("--seed", type=int, default=0,
+                         help="workload seed")
+    p_bench.add_argument("--min-vertices", type=int, default=6,
+                         help="smallest query size")
+    p_bench.add_argument("--max-vertices", type=int, default=8,
+                         help="largest query size")
+    p_bench.add_argument("--max-embeddings", type=int, default=200,
+                         help="screen out queries with more embeddings "
+                              "than this (keeps the bench measuring "
+                              "index reuse, not enumeration)")
+    p_bench.add_argument("--out", default=None, metavar="FILE",
+                         help="also write the report JSON to FILE")
+    add_service_args(p_bench)
+    p_bench.set_defaults(fn=_cmd_bench_service)
 
     p_trace = sub.add_parser("trace", help="inspect trace files")
     trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)

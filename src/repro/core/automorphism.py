@@ -19,7 +19,12 @@ from typing import Dict, List, Sequence, Tuple
 
 from ..graph import Graph
 
-__all__ = ["equivalence_groups", "SymmetryBreaker"]
+__all__ = [
+    "equivalence_groups",
+    "SymmetryBreaker",
+    "canonical_form",
+    "canonical_signature",
+]
 
 
 def equivalence_groups(query: Graph) -> List[Tuple[int, ...]]:
@@ -45,6 +50,128 @@ def equivalence_groups(query: Graph) -> List[Tuple[int, ...]]:
                 assigned[w] = assigned[u]
         groups.append(group)
     return [tuple(g) for g in groups if len(g) >= 2]
+
+
+def _wl_colors(graph: Graph) -> List[int]:
+    """Weisfeiler-Leman vertex colors, mapped to dense ints by sorted
+    signature so the coloring is invariant under relabeling.  Seeded by
+    (label set, degree), refined with neighbor-color multisets until the
+    partition stabilises."""
+    n = graph.num_vertices
+    keys: List[object] = [
+        (tuple(sorted(map(repr, graph.labels_of(u)))), graph.degree(u))
+        for u in range(n)
+    ]
+    colors = _densify(keys)
+    while True:
+        keys = [
+            (colors[u], tuple(sorted(colors[w] for w in graph.neighbors(u))))
+            for u in range(n)
+        ]
+        refined = _densify(keys)
+        if refined == colors:
+            return colors
+        colors = refined
+
+
+def _densify(keys: List[object]) -> List[int]:
+    rank = {key: i for i, key in enumerate(sorted(set(keys)))}
+    return [rank[key] for key in keys]
+
+
+def canonical_form(graph: Graph) -> Tuple[str, Tuple[int, ...]]:
+    """Canonical labeling of a (small) graph: ``(signature, order)``.
+
+    ``signature`` is a hex digest identical for any two isomorphic
+    graphs and different for non-isomorphic ones; ``order[i]`` is the
+    vertex placed at canonical position ``i``.  Two isomorphic graphs
+    ``a`` and ``b`` are mapped onto each other by
+    ``sigma[u] = order_b[position_a[u]]``.
+
+    The search is individualization-lite: vertices are placed one
+    position at a time, branching only on candidates whose invariant
+    step key — WL color plus the positions of already-placed neighbors
+    — is minimal, deduplicated per NEC twin class (swapping two unused
+    twins is an automorphism fixing every placed vertex, so one branch
+    per class suffices; this is what keeps cliques linear instead of
+    factorial).  The lexicographically smallest complete encoding wins.
+    Like :func:`automorphisms`, this is meant for *query* graphs —
+    small, usually labeled — not for data graphs.
+    """
+    import hashlib
+
+    n = graph.num_vertices
+    if n == 0:
+        return hashlib.sha256(b"empty").hexdigest(), ()
+    colors = _wl_colors(graph)
+    # WL colors are *dense per-graph ranks* — iso-invariant for ordering
+    # but blind to label content (all-"a" and all-"b" cliques both rank
+    # to color 0).  The encoding therefore carries each vertex's actual
+    # label set too, making signature equality equivalent to labeled
+    # isomorphism: the per-step placed-neighbor positions reconstruct
+    # the full adjacency matrix and the labels reconstruct the coloring.
+    label_keys = [
+        tuple(sorted(map(repr, graph.labels_of(u)))) for u in range(n)
+    ]
+    twin_class = list(range(n))
+    for group in equivalence_groups(graph):
+        for member in group:
+            twin_class[member] = group[0]
+
+    best: List[object] = []
+    best_order: List[int] = []
+    order: List[int] = []
+    position = [-1] * n
+    encoding: List[object] = []
+
+    def rec() -> None:
+        depth = len(order)
+        if depth == n:
+            if not best_order or encoding < best:
+                best[:] = encoding
+                best_order[:] = order
+            return
+        step_keys = {}
+        for v in range(n):
+            if position[v] >= 0:
+                continue
+            step_keys[v] = (
+                label_keys[v],
+                colors[v],
+                tuple(sorted(
+                    position[w]
+                    for w in graph.neighbors(v)
+                    if position[w] >= 0
+                )),
+            )
+        minimum = min(step_keys.values())
+        seen_classes = set()
+        for v, key in sorted(step_keys.items()):
+            if key != minimum:
+                continue
+            marker = (twin_class[v], key)
+            if marker in seen_classes:
+                continue
+            seen_classes.add(marker)
+            encoding.append(key)
+            if best_order and encoding > best[: len(encoding)]:
+                encoding.pop()
+                continue
+            order.append(v)
+            position[v] = depth
+            rec()
+            position[v] = -1
+            order.pop()
+            encoding.pop()
+
+    rec()
+    digest = hashlib.sha256(repr(best).encode()).hexdigest()
+    return digest, tuple(best_order)
+
+
+def canonical_signature(graph: Graph) -> str:
+    """Just the signature half of :func:`canonical_form`."""
+    return canonical_form(graph)[0]
 
 
 def automorphisms(query: Graph) -> List[Tuple[int, ...]]:

@@ -32,9 +32,25 @@ class QueryTree:
         Matching order.  Must start at ``root`` and be *tree-compatible*:
         every vertex appears after its BFS-tree parent.  Defaults to the
         plain BFS order.
+    parents:
+        Optional explicit tree parents (``parents[root] == -1``).  By
+        default the tree is re-derived by BFS with ascending-id
+        tie-breaking, which is deterministic but *labeling-dependent*:
+        relabeling the query can flip which of two same-level neighbors
+        becomes a vertex's parent.  Callers transplanting an index built
+        for an isomorphic query (the service-layer canonical cache)
+        pass the mapped parents so the transplanted tree is exactly the
+        relabeled original.  Every parent must be a query neighbor and
+        the edges must form one tree rooted at ``root``.
     """
 
-    def __init__(self, query: Graph, root: int, order: Sequence[int] | None = None) -> None:
+    def __init__(
+        self,
+        query: Graph,
+        root: int,
+        order: Sequence[int] | None = None,
+        parents: Sequence[int] | None = None,
+    ) -> None:
         if not query.is_connected():
             raise ValueError("query graph must be connected")
         if not 0 <= root < query.num_vertices:
@@ -42,22 +58,27 @@ class QueryTree:
         self.query = query
         self.root = root
 
-        # BFS from the root; children explored in ascending id for
-        # determinism.  parent[root] == -1.
-        parent: List[int] = [-1] * query.num_vertices
-        level: List[int] = [0] * query.num_vertices
-        bfs: List[int] = []
-        seen = {root}
-        queue = deque([root])
-        while queue:
-            u = queue.popleft()
-            bfs.append(u)
-            for w in query.neighbors(u):
-                if w not in seen:
-                    seen.add(w)
-                    parent[w] = u
-                    level[w] = level[u] + 1
-                    queue.append(w)
+        if parents is not None:
+            parent = list(parents)
+            level = self._validate_parents(parent)
+            bfs = sorted(range(query.num_vertices), key=lambda u: (level[u], u))
+        else:
+            # BFS from the root; children explored in ascending id for
+            # determinism.  parent[root] == -1.
+            parent = [-1] * query.num_vertices
+            level = [0] * query.num_vertices
+            bfs = []
+            seen = {root}
+            queue = deque([root])
+            while queue:
+                u = queue.popleft()
+                bfs.append(u)
+                for w in query.neighbors(u):
+                    if w not in seen:
+                        seen.add(w)
+                        parent[w] = u
+                        level[w] = level[u] + 1
+                        queue.append(w)
         self.parent: Tuple[int, ...] = tuple(parent)
         self.level: Tuple[int, ...] = tuple(level)
         self.bfs_order: Tuple[int, ...] = tuple(bfs)
@@ -103,6 +124,40 @@ class QueryTree:
         self.nte_parents: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in nte_parents)
         #: Inverse view of :attr:`nte_parents`.
         self.nte_children: Tuple[Tuple[int, ...], ...] = tuple(tuple(c) for c in nte_children)
+
+    def _validate_parents(self, parent: List[int]) -> List[int]:
+        """Check explicit parents form one neighbor-tree rooted at
+        ``root``; returns the derived levels."""
+        n = self.query.num_vertices
+        if len(parent) != n:
+            raise ValueError("parents must list one entry per query vertex")
+        if parent[self.root] != -1:
+            raise ValueError("parents[root] must be -1")
+        level = [-1] * n
+        level[self.root] = 0
+        for u in range(n):
+            if u == self.root:
+                continue
+            p = parent[u]
+            if not 0 <= p < n or not self.query.has_edge(u, p):
+                raise ValueError(
+                    f"parent {p} of {u} is not a query neighbor"
+                )
+        for u in range(n):
+            if level[u] >= 0:
+                continue
+            chain = []
+            w = u
+            while level[w] < 0:
+                if w in chain:
+                    raise ValueError("parents contain a cycle")
+                chain.append(w)
+                w = parent[w]
+            depth = level[w]
+            for back in reversed(chain):
+                depth += 1
+                level[back] = depth
+        return level
 
     def _validate_order(self, order: Sequence[int]) -> None:
         n = self.query.num_vertices

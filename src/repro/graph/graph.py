@@ -62,6 +62,7 @@ class Graph:
         "_nlc",
         "_degrees",
         "_twin_classes",
+        "_fingerprint",
     )
 
     def __init__(
@@ -111,6 +112,8 @@ class Graph:
         self._nlc: Optional[Tuple[Mapping[object, int], ...]] = None
         # lazily cached by repro.baselines.turboiso.data_vertex_classes
         self._twin_classes = None
+        # lazily cached by fingerprint()
+        self._fingerprint: Optional[str] = None
         self._degrees: Tuple[int, ...] = tuple(
             len(neighbors) for neighbors in self._adj_sorted
         )
@@ -318,3 +321,28 @@ class Graph:
 
     def __hash__(self) -> int:
         return hash((self._n, self._edges, self._labels))
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (hex digest, cached).
+
+        Covers exactly what :meth:`__eq__` compares — vertex count,
+        de-duplicated edge set and per-vertex label sets — so two equal
+        graphs always share a fingerprint across processes and runs
+        (unlike :meth:`__hash__`, which is salted per interpreter for
+        strings).  This is the data-graph half of the service-layer
+        index cache key; the query half is
+        :func:`repro.core.automorphism.canonical_form`.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            digest = hashlib.sha256()
+            digest.update(f"v{self._n};".encode())
+            for s, d in self._edges:
+                digest.update(f"{s},{d};".encode())
+            for vlabels in self._labels:
+                digest.update(
+                    ("|".join(sorted(map(repr, vlabels))) + ";").encode()
+                )
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint

@@ -1,0 +1,42 @@
+"""Resident query service: batching, cross-query caching, admission
+control (DESIGN.md §10).
+
+The matcher answers one query per process; this package keeps a data
+graph resident and answers *streams* of queries:
+
+* :class:`~repro.service.service.MatchService` — bounded worker pool,
+  admission control, fair cluster-level batching;
+* :class:`~repro.service.cache.IndexCache` — cross-query LRU of frozen
+  indexes keyed by canonical query signature, with a CECIIDX3 spill
+  tier and in-flight build coalescing;
+* :class:`~repro.service.request.MatchRequest` /
+  :class:`~repro.service.request.MatchResponse` — the request surface;
+* :mod:`~repro.service.loadgen` — deterministic open-loop benchmark
+  (``repro bench-service``);
+* :mod:`~repro.service.server` — JSON-lines front end (``repro serve``).
+"""
+
+from .cache import CacheEntry, IndexCache, transplant_store
+from .loadgen import generate_workload, run_benchmark, sample_query
+from .request import MatchRequest, MatchResponse, Status
+from .scheduler import FairTaskQueue, fair_interleave
+from .server import serve
+from .service import MatchService, PendingMatch, service_metric_specs
+
+__all__ = [
+    "CacheEntry",
+    "FairTaskQueue",
+    "IndexCache",
+    "MatchRequest",
+    "MatchResponse",
+    "MatchService",
+    "PendingMatch",
+    "Status",
+    "fair_interleave",
+    "generate_workload",
+    "run_benchmark",
+    "sample_query",
+    "serve",
+    "service_metric_specs",
+    "transplant_store",
+]

@@ -1,0 +1,325 @@
+"""Cross-query index cache — the warm path of the resident service.
+
+Building a CECI (filter + refine + freeze) dominates small-query latency,
+yet the frozen :class:`~repro.core.store.CompactCECI` depends only on the
+*(data graph, query graph up to isomorphism)* pair — not on the request's
+limit, budget, kernel or symmetry setting (the matcher never consults the
+symmetry breaker while building).  :class:`IndexCache` therefore keys
+frozen stores by ``(data fingerprint, canonical query signature)`` and
+serves every structurally-equal request from one build:
+
+* **hit** — the store is resident in the LRU;
+* **warm** — the LRU evicted it, but the eviction spilled a CECIIDX3
+  blob (:func:`~repro.core.persist.dump_store_bytes`) into ``spill_dir``
+  and reviving the arrays is far cheaper than rebuilding;
+* **coalesced** — another request is building the same key right now;
+  this one waits on the in-flight build instead of duplicating it;
+* **miss** — this request pays for the build (and populates the cache).
+
+Isomorphic-but-relabeled queries share a cache slot.  The cached store
+was built for one *representative* labeling, so :meth:`IndexCache.adapt`
+transplants it onto the request's labeling: the canonical orders of the
+two graphs compose into an isomorphism ``sigma`` (see
+:func:`~repro.core.automorphism.canonical_form`), and every per-query-
+vertex array is re-indexed through ``sigma`` while the query tree is
+rebuilt with explicitly mapped parents (BFS tie-breaking is labeling-
+dependent, so the parents must be carried, not re-derived).  The
+transplanted index is *array-identical* to the cached one — data-vertex
+content is untouched — so enumeration from it yields exactly the
+embedding set of the request's query.  ``adapt`` re-verifies that
+``sigma`` is a labeled isomorphism before trusting it, so even a
+signature collision degrades to a fresh build, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.automorphism import canonical_form
+from ..core.persist import dump_store_bytes, load_store_bytes
+from ..core.query_tree import QueryTree
+from ..core.store import CompactCECI, PairArrays
+from ..graph import Graph
+
+__all__ = ["CacheEntry", "IndexCache", "transplant_store"]
+
+
+class CacheEntry:
+    """One cached frozen index plus what :meth:`IndexCache.adapt` needs
+    to re-target it: the representative query's canonical order and the
+    build cost (for the warm-speedup accounting)."""
+
+    __slots__ = ("key", "store", "canon_order", "build_seconds", "hits")
+
+    def __init__(
+        self,
+        key: Tuple[str, str],
+        store: CompactCECI,
+        canon_order: Tuple[int, ...],
+        build_seconds: float,
+    ) -> None:
+        self.key = key
+        self.store = store
+        self.canon_order = canon_order
+        self.build_seconds = build_seconds
+        self.hits = 0
+
+
+def transplant_store(
+    store: CompactCECI, query: Graph, sigma: List[int]
+) -> CompactCECI:
+    """Re-index a frozen store built for ``store.tree.query`` onto the
+    isomorphic ``query`` via the vertex map ``sigma`` (representative
+    vertex ``u`` plays the role of ``sigma[u]``).
+
+    Only query-vertex-indexed containers move; the int64 candidate
+    arrays themselves (data-vertex content) are shared untouched.  The
+    tree is rebuilt with the *mapped* parents so it is exactly the
+    relabeled original — re-deriving it by BFS could pick different
+    parents and silently mismatch the TE/NTE arrays.
+    """
+    tree = store.tree
+    n = query.num_vertices
+    root = sigma[tree.root]
+    order = [sigma[u] for u in tree.order]
+    parents = [-1] * n
+    for u in range(n):
+        p = tree.parent[u]
+        parents[sigma[u]] = sigma[p] if p >= 0 else -1
+    mapped_tree = QueryTree(query, root, order, parents=parents)
+    te: List[Optional[PairArrays]] = [None] * n
+    nte: List[Optional[Dict[int, PairArrays]]] = [None] * n
+    card: List[Optional[Tuple]] = [None] * n
+    for u in range(n):
+        te[sigma[u]] = store.te[u]
+        nte[sigma[u]] = {
+            sigma[u_n]: triple for u_n, triple in store.nte[u].items()
+        }
+        card[sigma[u]] = store.card[u]
+    return CompactCECI(
+        mapped_tree,
+        store.data,
+        store.pivots,
+        te,  # type: ignore[arg-type]
+        nte,  # type: ignore[arg-type]
+        card,  # type: ignore[arg-type]
+        nte_built=store.nte_built,
+    )
+
+
+def _is_isomorphism(a: Graph, b: Graph, sigma: List[int]) -> bool:
+    """Whether ``sigma`` maps ``a`` onto ``b`` preserving labels and
+    adjacency — the cheap O(n + m) certificate check that makes a
+    canonical-signature collision harmless."""
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return False
+    if sorted(sigma) != list(range(a.num_vertices)):
+        return False
+    for u in a.vertices():
+        if a.labels_of(u) != b.labels_of(sigma[u]):
+            return False
+    for s, d in a.edges:
+        if not b.has_edge(sigma[s], sigma[d]):
+            return False
+    return True
+
+
+class IndexCache:
+    """Bounded LRU of frozen stores for one data graph, with a spill
+    tier and in-flight build coalescing.
+
+    Thread-safe.  ``get_or_build`` blocks only the requests that truly
+    depend on the same key: the LRU lock is never held while building,
+    loading a spilled blob, or waiting on another request's build.
+    """
+
+    #: ``get_or_build``'s second return value.
+    TAGS = ("hit", "warm", "coalesced", "miss")
+
+    def __init__(
+        self,
+        data: Graph,
+        capacity: int = 32,
+        spill_dir: Optional[str] = None,
+        metrics=None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.data = data
+        self.data_fingerprint = data.fingerprint()
+        self.capacity = capacity
+        self.spill_dir = spill_dir
+        if spill_dir is not None:
+            os.makedirs(spill_dir, exist_ok=True)
+        self.metrics = metrics
+        self._lru: "OrderedDict[Tuple[str, str], CacheEntry]" = OrderedDict()
+        self._inflight: Dict[Tuple[str, str], threading.Event] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.warm_hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.evictions = 0
+        self.spills = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._lru)
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + amount)
+        if self.metrics is not None:
+            self.metrics.inc(f"service_index_cache_{name}", amount)
+
+    # ------------------------------------------------------------------
+    # Lookup / build
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        query: Graph,
+        build: Callable[[], CompactCECI],
+    ) -> Tuple[CacheEntry, str, Tuple[int, ...]]:
+        """The cache entry for ``query``'s isomorphism class.
+
+        Returns ``(entry, tag, canonical order of *query*)`` — pass the
+        order to :meth:`adapt` to obtain a store enumerable for this
+        exact labeling.  ``build`` is called (without any cache lock
+        held) only when this request loses the race for an existing
+        entry and the spill tier has nothing; it must return the frozen
+        store built for ``query`` itself.
+        """
+        signature, order = canonical_form(query)
+        key = (self.data_fingerprint, signature)
+        waited = False
+        while True:
+            with self._lock:
+                entry = self._lru.get(key)
+                if entry is not None:
+                    self._lru.move_to_end(key)
+                    entry.hits += 1
+                    self._count("coalesced" if waited else "hits")
+                    return entry, "coalesced" if waited else "hit", order
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            # Someone else is building this key: wait outside the lock,
+            # then re-check (on build failure we may become the builder).
+            event.wait()
+            waited = True
+
+        tag = "miss"
+        try:
+            entry = self._load_spilled(key, signature)
+            if entry is not None:
+                tag = "warm"
+                self._count("warm_hits")
+            else:
+                started = time.perf_counter()
+                store = build()
+                entry = CacheEntry(
+                    key, store, order, time.perf_counter() - started
+                )
+                self._count("misses")
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self._lru[key] = entry
+            self._lru.move_to_end(key)
+            while len(self._lru) > self.capacity:
+                _, evicted = self._lru.popitem(last=False)
+                self._count("evictions")
+                self._spill(evicted)
+            self._inflight.pop(key).set()
+        return entry, tag, order
+
+    def adapt(
+        self, entry: CacheEntry, query: Graph, order: Tuple[int, ...]
+    ) -> Optional[CompactCECI]:
+        """A store enumerable for ``query`` itself, from a cached entry
+        of its isomorphism class — the representative store when the
+        labelings coincide (bit-identical reuse), a transplant through
+        ``sigma`` otherwise.  Returns ``None`` when the certificate
+        check fails (signature collision): the caller must build fresh.
+        """
+        rep = entry.store.tree.query
+        if len(order) != rep.num_vertices:
+            return None
+        rep_position = {u: i for i, u in enumerate(entry.canon_order)}
+        sigma = [order[rep_position[u]] for u in range(rep.num_vertices)]
+        if not _is_isomorphism(rep, query, sigma):
+            return None
+        if all(sigma[u] == u for u in range(rep.num_vertices)):
+            return entry.store
+        return transplant_store(entry.store, query, sigma)
+
+    # ------------------------------------------------------------------
+    # Spill tier
+    # ------------------------------------------------------------------
+    def _spill_path(self, key: Tuple[str, str]) -> str:
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        assert self.spill_dir is not None
+        return os.path.join(self.spill_dir, f"{digest}.ceci")
+
+    def _spill(self, entry: CacheEntry) -> None:
+        """Evicted entries demote to a CECIIDX3 blob on disk instead of
+        vanishing — reviving arrays is far cheaper than rebuilding."""
+        if self.spill_dir is None:
+            return
+        path = self._spill_path(entry.key)
+        if os.path.exists(path):
+            return
+        blob = dump_store_bytes(entry.store)
+        tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+        os.replace(tmp, path)
+        self._count("spills")
+
+    def _load_spilled(
+        self, key: Tuple[str, str], signature: str
+    ) -> Optional[CacheEntry]:
+        """Revive a spilled entry, or ``None``.  The revived query graph
+        went through the persist label round-trip, so its canonical
+        signature is re-derived and must match — a mismatch (labels that
+        don't survive ``repr``) falls back to a fresh build."""
+        if self.spill_dir is None:
+            return None
+        path = self._spill_path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                store = load_store_bytes(handle.read(), self.data)
+        except (OSError, ValueError):
+            return None
+        revived_sig, revived_order = canonical_form(store.tree.query)
+        if revived_sig != signature:
+            return None
+        return CacheEntry(key, store, revived_order, 0.0)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Counters + occupancy as one JSON-friendly dict."""
+        with self._lock:
+            entries = len(self._lru)
+        probes = self.hits + self.warm_hits + self.coalesced + self.misses
+        served = self.hits + self.warm_hits + self.coalesced
+        return {
+            "hits": self.hits,
+            "warm_hits": self.warm_hits,
+            "coalesced": self.coalesced,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "entries": entries,
+            "capacity": self.capacity,
+            "hit_rate": round(served / probes, 6) if probes else 0.0,
+        }

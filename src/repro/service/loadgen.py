@@ -1,0 +1,250 @@
+"""Deterministic load generation and the service benchmark.
+
+The bench drives a :class:`~repro.service.service.MatchService` with a
+seeded workload and reports the numbers the acceptance bar asks for:
+request-latency percentiles, throughput, cache hit rate, and the
+warm-vs-cold speedup of the index cache (warm must serve ≥ 3x faster
+than cold, since a warm request skips filter + refine + freeze).
+
+Queries are sampled as *connected induced subgraphs of the data graph*
+(seeded random BFS growth), so every query is guaranteed at least one
+embedding — a workload of unsatisfiable patterns would measure nothing
+but filter speed.  The arrival sequence is **open-loop**: the whole
+request schedule is fixed up front by the seed, submitted without
+waiting for completions, so service behaviour cannot reshape its own
+offered load (closed-loop generators hide queueing collapse).
+
+:func:`run_benchmark` is what ``repro bench-service`` and the CI smoke
+job call; its dict is written as ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..graph import Graph
+from .request import MatchRequest, Status
+from .service import MatchService, PendingMatch
+
+__all__ = [
+    "sample_query",
+    "generate_workload",
+    "percentile",
+    "run_benchmark",
+    "BENCH_SCHEMA",
+]
+
+#: Version stamped into the benchmark report; bump on shape changes.
+BENCH_SCHEMA = 1
+
+
+def sample_query(
+    data: Graph, size: int, rng: random.Random
+) -> Optional[Graph]:
+    """One connected induced subgraph of ``data`` with ``size`` vertices
+    (or ``None`` when the seeded growth gets stuck in a too-small
+    component).  Induced means every data edge between chosen vertices
+    is kept, so the identity mapping is always an embedding."""
+    if size < 1 or data.num_vertices == 0:
+        return None
+    start = rng.randrange(data.num_vertices)
+    chosen: List[int] = [start]
+    member = {start}
+    frontier = [w for w in data.neighbors(start)]
+    while len(chosen) < size and frontier:
+        v = frontier.pop(rng.randrange(len(frontier)))
+        if v in member:
+            continue
+        member.add(v)
+        chosen.append(v)
+        for w in data.neighbors(v):
+            if w not in member:
+                frontier.append(w)
+    if len(chosen) < size:
+        return None
+    return data.subgraph(sorted(chosen))
+
+
+def generate_workload(
+    data: Graph,
+    num_queries: int,
+    seed: int = 0,
+    min_vertices: int = 3,
+    max_vertices: int = 5,
+    max_embeddings: Optional[int] = None,
+) -> List[Graph]:
+    """``num_queries`` distinct-ish query graphs, deterministically from
+    ``seed``.  Sizes cycle through ``[min_vertices, max_vertices]``.
+
+    ``max_embeddings`` screens out result-heavy patterns (a random walk
+    through a weakly-labeled region can match tens of thousands of
+    times): candidates whose embedding count exceeds the cap are
+    re-sampled.  The service benchmark uses this so its warm-vs-cold
+    ratio measures *index reuse*, not enumeration throughput — a single
+    30k-embedding query would otherwise drown the build time both
+    phases share.  Screening runs a throwaway matcher per candidate and
+    is deterministic given the seed.
+    """
+    if num_queries < 1:
+        raise ValueError("num_queries must be >= 1")
+    if not 1 <= min_vertices <= max_vertices:
+        raise ValueError("need 1 <= min_vertices <= max_vertices")
+    rng = random.Random(seed)
+    queries: List[Graph] = []
+    attempts = 0
+    while len(queries) < num_queries and attempts < num_queries * 50:
+        attempts += 1
+        size = min_vertices + len(queries) % (max_vertices - min_vertices + 1)
+        query = sample_query(data, size, rng)
+        if query is None or not query.is_connected():
+            continue
+        if max_embeddings is not None:
+            from ..core.matcher import CECIMatcher
+
+            found = CECIMatcher(query, data).match(limit=max_embeddings + 1)
+            if len(found) > max_embeddings:
+                continue
+        queries.append(query)
+    if len(queries) < num_queries:
+        raise ValueError(
+            "data graph too small/fragmented to sample the workload"
+        )
+    return queries
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]); 0.0 when empty."""
+    if not values:
+        return 0.0
+    ranked = sorted(values)
+    rank = max(0, min(len(ranked) - 1, int(round(q / 100.0 * len(ranked))) - 1))
+    return ranked[rank]
+
+
+def _phase_report(seconds: List[float]) -> Dict[str, float]:
+    return {
+        "requests": len(seconds),
+        "mean_seconds": sum(seconds) / len(seconds) if seconds else 0.0,
+        "p50_seconds": percentile(seconds, 50),
+        "p95_seconds": percentile(seconds, 95),
+        "p99_seconds": percentile(seconds, 99),
+    }
+
+
+def run_benchmark(
+    service: MatchService,
+    num_queries: int = 6,
+    mixed_requests: int = 30,
+    seed: int = 0,
+    min_vertices: int = 3,
+    max_vertices: int = 5,
+    max_embeddings: Optional[int] = 200,
+) -> Dict[str, object]:
+    """Three-phase deterministic benchmark against a live service.
+
+    1. **cold** — each unique query once, synchronously, on an empty
+       index cache: every request pays a build (``cache == "miss"``).
+    2. **warm** — the same queries again: every request must be served
+       from the index cache (``hit``), giving the warm/cold speedup.
+    3. **mixed open-loop** — ``mixed_requests`` requests sampled (with
+       repetition) from the query set, all submitted before any result
+       is awaited; reports end-to-end latency percentiles and
+       throughput.
+
+    Counts are cross-checked between phases: a query must report the
+    same embedding count cold, warm, and mixed — a cheap in-bench
+    differential guard on the cache path.
+    """
+    queries = generate_workload(
+        service.data,
+        num_queries,
+        seed=seed,
+        min_vertices=min_vertices,
+        max_vertices=max_vertices,
+        max_embeddings=max_embeddings,
+    )
+    counts: List[Optional[int]] = [None] * len(queries)
+    statuses: Dict[str, int] = {status: 0 for status in Status.ALL}
+
+    def record(index: int, response) -> None:
+        statuses[response.status] = statuses.get(response.status, 0) + 1
+        if response.status != Status.OK:
+            raise AssertionError(
+                f"benchmark request failed: {response.status} "
+                f"({response.error or response.stop_reason})"
+            )
+        if counts[index] is None:
+            counts[index] = response.count
+        elif counts[index] != response.count:
+            raise AssertionError(
+                f"query {index} count changed across phases: "
+                f"{counts[index]} != {response.count} "
+                f"(cache tier {response.cache})"
+            )
+
+    cold_seconds: List[float] = []
+    for i, query in enumerate(queries):
+        response = service.match(MatchRequest(query))
+        record(i, response)
+        cold_seconds.append(response.service_seconds)
+
+    warm_seconds: List[float] = []
+    warm_tags: List[str] = []
+    for i, query in enumerate(queries):
+        response = service.match(MatchRequest(query))
+        record(i, response)
+        warm_seconds.append(response.service_seconds)
+        warm_tags.append(response.cache or "none")
+
+    rng = random.Random(seed + 1)
+    schedule = [rng.randrange(len(queries)) for _ in range(mixed_requests)]
+    pending: List[PendingMatch] = []
+    mixed_started = time.perf_counter()
+    for index in schedule:
+        pending.append(service.submit(MatchRequest(queries[index])))
+    latencies: List[float] = []
+    for index, handle in zip(schedule, pending):
+        response = handle.result()
+        record(index, response)
+        latencies.append(response.latency_seconds)
+    mixed_elapsed = time.perf_counter() - mixed_started
+
+    cold_mean = sum(cold_seconds) / len(cold_seconds)
+    warm_mean = sum(warm_seconds) / len(warm_seconds)
+    report: Dict[str, object] = {
+        "schema": BENCH_SCHEMA,
+        "config": {
+            "data_vertices": service.data.num_vertices,
+            "data_edges": service.data.num_edges,
+            "workers": service.workers,
+            "num_queries": num_queries,
+            "mixed_requests": mixed_requests,
+            "seed": seed,
+            "min_vertices": min_vertices,
+            "max_vertices": max_vertices,
+            "max_embeddings": max_embeddings,
+        },
+        "cold": _phase_report(cold_seconds),
+        "warm": _phase_report(warm_seconds),
+        "warm_speedup": cold_mean / warm_mean if warm_mean > 0 else 0.0,
+        "warm_cache_tags": warm_tags,
+        "latency": {
+            "p50_seconds": percentile(latencies, 50),
+            "p95_seconds": percentile(latencies, 95),
+            "p99_seconds": percentile(latencies, 99),
+            "mean_seconds": sum(latencies) / len(latencies)
+            if latencies
+            else 0.0,
+        },
+        "throughput_rps": (
+            mixed_requests / mixed_elapsed if mixed_elapsed > 0 else 0.0
+        ),
+        "statuses": statuses,
+        "embedding_counts": counts,
+        "index_cache": service.index_cache.snapshot(),
+    }
+    if service.intersection_pool is not None:
+        report["intersection_pool"] = service.intersection_pool.snapshot()
+    return report

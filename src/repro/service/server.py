@@ -1,0 +1,153 @@
+"""JSON-lines front end for the resident service (``repro serve``).
+
+One request per input line, one response per output line — the shape a
+driver script, a socket shim, or an interactive session can all speak
+without a dependency on any RPC framework:
+
+Request lines::
+
+    {"query": {"n": 3, "edges": [[0,1],[1,2],[0,2]],
+               "labels": [["a"], ["a"], ["b"]]},
+     "limit": 10, "deadline_seconds": 1.0, "kernel": "auto",
+     "embeddings": true, "id": 7}
+
+``labels`` is optional (unlabeled queries), as are every knob and the
+``id`` echo.  Two control lines exist: ``{"cmd": "metrics"}`` prints the
+service's metrics/cache snapshot, ``{"cmd": "shutdown"}`` drains and
+stops the loop (end-of-input does the same).
+
+Response lines mirror :class:`~repro.service.request.MatchResponse`::
+
+    {"id": 7, "status": "ok", "count": 2, "embeddings": [[0,1,2], ...],
+     "cache": "hit", "truncated": false, "stop_reason": null,
+     "latency_seconds": ..., "service_seconds": ...}
+
+A malformed line yields ``{"status": "failed", "error": ...}`` instead
+of killing the loop — a resident service must outlive bad input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, TextIO
+
+from ..graph import Graph
+from ..resilience.budget import Budget
+from .request import MatchRequest, MatchResponse, Status
+from .service import MatchService
+
+__all__ = ["query_from_json", "response_to_json", "serve"]
+
+
+def query_from_json(payload: Dict) -> Graph:
+    """Build the query graph from a request's ``query`` object."""
+    if not isinstance(payload, dict):
+        raise ValueError("query must be an object")
+    n = payload.get("n")
+    if not isinstance(n, int):
+        raise ValueError("query.n (vertex count) must be an integer")
+    edges = [
+        (int(s), int(d)) for s, d in payload.get("edges", [])
+    ]
+    labels = payload.get("labels")
+    return Graph(n, edges, labels)
+
+
+def _budget_from_json(line: Dict) -> Optional[Budget]:
+    axes = {
+        "deadline_seconds": line.get("deadline_seconds"),
+        "max_calls": line.get("max_calls"),
+        "max_embeddings": line.get("max_embeddings"),
+        "max_memory_bytes": line.get("max_memory_bytes"),
+    }
+    if all(value is None for value in axes.values()):
+        return None
+    return Budget(**axes)
+
+
+def request_from_json(line: Dict) -> MatchRequest:
+    """Decode one request line (raises ``ValueError``/``KeyError`` on
+    malformed input — the loop turns those into ``failed`` lines)."""
+    kwargs = {}
+    if line.get("id") is not None:
+        kwargs["request_id"] = int(line["id"])
+    return MatchRequest(
+        query=query_from_json(line["query"]),
+        limit=line.get("limit"),
+        budget=_budget_from_json(line),
+        break_automorphisms=bool(line.get("break_automorphisms", True)),
+        kernel=line.get("kernel", "auto"),
+        **kwargs,
+    )
+
+
+def response_to_json(
+    response: MatchResponse, include_embeddings: bool = True
+) -> Dict:
+    """One response as a JSON-ready dict."""
+    out: Dict = {
+        "id": response.request_id,
+        "status": response.status,
+        "count": response.count,
+        "truncated": response.truncated,
+        "stop_reason": response.stop_reason,
+        "cache": response.cache,
+        "latency_seconds": response.latency_seconds,
+        "service_seconds": response.service_seconds,
+        "error": response.error,
+    }
+    if include_embeddings:
+        out["embeddings"] = [
+            [int(v) for v in embedding] for embedding in response.embeddings
+        ]
+    return out
+
+
+def serve(
+    service: MatchService,
+    in_stream: TextIO,
+    out_stream: TextIO,
+) -> int:
+    """Run the request/response loop until shutdown or end-of-input.
+    Returns the number of match requests handled."""
+    handled = 0
+    for raw in in_stream:
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            _emit(out_stream, {"status": Status.FAILED, "error": str(exc)})
+            continue
+        command = line.get("cmd") if isinstance(line, dict) else None
+        if command == "shutdown":
+            break
+        if command == "metrics":
+            service.drain()
+            _emit(out_stream, {"cmd": "metrics", **service.snapshot()})
+            continue
+        try:
+            request = request_from_json(line)
+        except (ValueError, KeyError, TypeError) as exc:
+            _emit(out_stream, {
+                "id": line.get("id") if isinstance(line, dict) else None,
+                "status": Status.FAILED,
+                "error": f"bad request: {exc}",
+            })
+            continue
+        response = service.match(request)
+        handled += 1
+        _emit(
+            out_stream,
+            response_to_json(
+                response,
+                include_embeddings=bool(line.get("embeddings", True)),
+            ),
+        )
+    return handled
+
+
+def _emit(out_stream: TextIO, payload: Dict) -> None:
+    out_stream.write(json.dumps(payload) + "\n")
+    out_stream.flush()

@@ -1,0 +1,606 @@
+"""The resident match service: one data graph, many concurrent queries.
+
+:class:`MatchService` loads (or receives) a data graph once and answers
+:class:`~repro.service.request.MatchRequest`\\ s through a bounded worker
+pool.  The pieces, and where each lives:
+
+* **admission control** — :meth:`submit` counts in-flight requests; past
+  ``max_pending`` a request is shed immediately with a ``REJECTED``
+  response, before it can touch any shared state;
+* **index reuse** — a scheduler thread resolves each admitted request's
+  index through the cross-query :class:`~repro.service.cache.IndexCache`
+  (LRU hit / spilled-blob warm / in-flight coalesce / fresh build);
+* **batching & fairness** — unbounded requests are decomposed into their
+  embedding clusters and all requests' cluster units interleave on one
+  :class:`~repro.service.scheduler.FairTaskQueue`, so a huge query never
+  starves its neighbours; budgeted/limited requests run *solo* ahead of
+  the batch so their truncation prefixes are exactly the sequential
+  matcher's;
+* **isolation** — every unit enumerates into a private
+  :class:`~repro.core.stats.MatchStats` merged under the job's lock, and
+  the shared TE∩NTE intersection pool is only reached through
+  per-request :meth:`~repro.kernels.cache.IntersectionCache.view`
+  namespaces, so neither counters nor cached intersections can bleed
+  between requests.
+
+**Exactness.**  A response's embedding list is bit-identical to a fresh
+``CECIMatcher(query, data).run(limit)`` whenever the request's labeling
+matches the cached representative's (always true for cold builds and
+exact repeats): the frozen store is the same arrays, solo runs replay
+the sequential recursion, and batched runs concatenate per-pivot cluster
+results back in pivot order — which *is* sequential ``collect`` order.
+For an isomorphic-but-relabeled hit the transplanted index yields the
+same embedding *set* (enumeration order may differ; symmetry breaking is
+applied with the request's own breaker, so the chosen representatives
+are the request's, not the cached labeling's).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..core.automorphism import SymmetryBreaker
+from ..core.enumeration import Embedding, Enumerator
+from ..core.matcher import CECIMatcher
+from ..core.stats import MatchStats
+from ..core.store import CompactCECI
+from ..graph import Graph
+from ..kernels import DEFAULT_CACHE_SIZE, IntersectionCache
+from ..observability.metrics import MetricSpec, MetricsRegistry
+from ..parallel.scheduling import dynamic_schedule
+from ..resilience.budget import BudgetExhausted, BudgetTracker
+from .cache import IndexCache
+from .request import MatchRequest, MatchResponse, Status
+from .scheduler import FairTaskQueue
+
+__all__ = ["MatchService", "PendingMatch", "service_metric_specs"]
+
+
+def service_metric_specs() -> Tuple[MetricSpec, ...]:
+    """Spec table for the service's own registry (request outcomes,
+    cache tiers, queue pressure, latency histograms)."""
+    return (
+        MetricSpec(
+            "service_requests_total",
+            labeled=True,
+            label_name="status",
+            help="Requests by terminal status.",
+        ),
+        MetricSpec(
+            "service_cache_outcomes",
+            labeled=True,
+            label_name="tier",
+            help="Index resolutions by tier (miss/hit/warm/coalesced).",
+        ),
+        MetricSpec(
+            "service_units_total",
+            help="Cluster work units executed by the pool.",
+        ),
+        MetricSpec(
+            "service_index_cache_hits",
+            help="Index LRU hits.",
+        ),
+        MetricSpec(
+            "service_index_cache_warm_hits",
+            help="Indexes revived from spilled CECIIDX3 blobs.",
+        ),
+        MetricSpec(
+            "service_index_cache_coalesced",
+            help="Requests that shared a concurrent in-flight build.",
+        ),
+        MetricSpec(
+            "service_index_cache_misses",
+            help="Indexes built from scratch.",
+        ),
+        MetricSpec(
+            "service_index_cache_evictions",
+            help="LRU entries evicted.",
+        ),
+        MetricSpec(
+            "service_index_cache_spills",
+            help="Evicted entries written to the spill tier.",
+        ),
+        MetricSpec(
+            "service_queue_depth_peak",
+            kind="gauge",
+            merge="max",
+            help="Peak concurrent in-flight requests.",
+        ),
+        MetricSpec(
+            "service_plan_makespan",
+            kind="gauge",
+            merge="max",
+            help="Predicted pool makespan of the last batched job "
+                 "(dynamic_schedule over its unit costs).",
+        ),
+        MetricSpec(
+            "service_plan_skew",
+            kind="gauge",
+            merge="max",
+            help="Predicted balance skew of the last batched job.",
+        ),
+        MetricSpec(
+            "service_request_seconds",
+            kind="histogram",
+            help="Submit-to-completion latency.",
+        ),
+        MetricSpec(
+            "service_time_seconds",
+            kind="histogram",
+            help="Prepare+execute time, excluding queue wait.",
+        ),
+        MetricSpec(
+            "service_build_seconds",
+            kind="histogram",
+            help="Index build time paid by cache misses.",
+        ),
+    )
+
+
+class PendingMatch:
+    """Handle for one submitted request — a one-shot future."""
+
+    __slots__ = ("request", "_event", "_response")
+
+    def __init__(self, request: MatchRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._response: Optional[MatchResponse] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> MatchResponse:
+        """Block until the response is ready."""
+        if not self._event.wait(timeout=timeout):
+            raise TimeoutError(
+                f"request {self.request.request_id} still pending"
+            )
+        assert self._response is not None
+        return self._response
+
+    def _resolve(self, response: MatchResponse) -> None:
+        self._response = response
+        self._event.set()
+
+
+class _Job:
+    """Mutable execution state of one admitted request."""
+
+    __slots__ = (
+        "request", "pending", "submitted_at", "prepared_at", "symmetry",
+        "store", "cache_tag", "namespace", "tracker", "stats", "parts",
+        "remaining", "truncated", "stop_reason", "error", "lock",
+    )
+
+    def __init__(
+        self,
+        request: MatchRequest,
+        pending: PendingMatch,
+        submitted_at: float,
+    ) -> None:
+        self.request = request
+        self.pending = pending
+        self.submitted_at = submitted_at
+        self.prepared_at = submitted_at
+        self.symmetry: Optional[SymmetryBreaker] = None
+        self.store: Optional[CompactCECI] = None
+        self.cache_tag: Optional[str] = None
+        self.namespace: Optional[Tuple[str, ...]] = None
+        self.tracker: Optional[BudgetTracker] = None
+        self.stats = MatchStats()
+        self.parts: List[Optional[List[Embedding]]] = []
+        self.remaining = 0
+        self.truncated = False
+        self.stop_reason: Optional[str] = None
+        self.error: Optional[str] = None
+        self.lock = threading.Lock()
+
+
+#: Task shapes on the worker channel: ``(job, -1, ())`` runs solo,
+#: ``(job, i, prefix)`` runs cluster unit ``i``.
+_Task = Tuple[_Job, int, Tuple[int, ...]]
+
+_CLOSE = object()
+
+
+class MatchService:
+    """A resident matcher over one data graph.
+
+    Engine knobs that shape the *index* (order strategy, filters,
+    refinement, intersection mode) are fixed service-wide — that is the
+    invariant making cross-query index reuse sound.  Per-request knobs
+    (limit, budget, kernel, symmetry) ride on each
+    :class:`~repro.service.request.MatchRequest`.
+
+    Use as a context manager, or call :meth:`close` when done.
+    """
+
+    def __init__(
+        self,
+        data: Graph,
+        workers: int = 2,
+        max_pending: int = 64,
+        index_capacity: int = 32,
+        spill_dir: Optional[str] = None,
+        intersection_cache_size: int = DEFAULT_CACHE_SIZE,
+        order_strategy: str = "bfs",
+        use_refinement: bool = True,
+        use_intersection: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.data = data
+        self.workers = workers
+        self.max_pending = max_pending
+        self.order_strategy = order_strategy
+        self.use_refinement = use_refinement
+        self.use_intersection = use_intersection
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else MetricsRegistry(service_metric_specs())
+        )
+        for spec in service_metric_specs():
+            self.metrics.register(spec)
+        self.index_cache = IndexCache(
+            data,
+            capacity=index_capacity,
+            spill_dir=spill_dir,
+            metrics=self.metrics,
+        )
+        #: Shared TE∩NTE memo pool; reached only through per-request
+        #: namespaced views (see repro.kernels.cache) so two queries can
+        #: never read each other's intersections.
+        self.intersection_pool = (
+            IntersectionCache(intersection_cache_size, threadsafe=True)
+            if intersection_cache_size > 0
+            else None
+        )
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._inflight = 0
+        self._peak = 0
+        self._closed = False
+        self._inbox: "list" = []
+        self._inbox_ready = threading.Condition()
+        self._tasks: FairTaskQueue[_Task] = FairTaskQueue()
+        self._scheduler = threading.Thread(
+            target=self._scheduler_loop, name="svc-scheduler", daemon=True
+        )
+        self._pool = [
+            threading.Thread(
+                target=self._worker_loop, name=f"svc-worker-{w}", daemon=True
+            )
+            for w in range(workers)
+        ]
+        self._scheduler.start()
+        for thread in self._pool:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, request: MatchRequest) -> PendingMatch:
+        """Admit (or shed) one request; never blocks on matching work."""
+        pending = PendingMatch(request)
+        now = time.perf_counter()
+        with self._state_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._inflight >= self.max_pending:
+                self.metrics.inc(
+                    "service_requests_total", label=Status.REJECTED
+                )
+                pending._resolve(MatchResponse(
+                    request_id=request.request_id,
+                    status=Status.REJECTED,
+                    error=(
+                        f"queue depth {self._inflight} at limit "
+                        f"{self.max_pending}"
+                    ),
+                ))
+                return pending
+            self._inflight += 1
+            if self._inflight > self._peak:
+                self._peak = self._inflight
+                self.metrics.set_gauge("service_queue_depth_peak", self._peak)
+        with self._inbox_ready:
+            self._inbox.append(_Job(request, pending, now))
+            self._inbox_ready.notify()
+        return pending
+
+    def match(self, request: MatchRequest) -> MatchResponse:
+        """Submit and wait — the synchronous convenience path."""
+        return self.submit(request).result()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                left = None
+                if deadline is not None:
+                    left = deadline - time.monotonic()
+                    if left <= 0:
+                        return False
+                self._idle.wait(timeout=left)
+        return True
+
+    def close(self) -> None:
+        """Drain in-flight work, then stop every thread (idempotent)."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.drain()
+        with self._inbox_ready:
+            self._inbox.append(_CLOSE)
+            self._inbox_ready.notify()
+        self._scheduler.join()
+        self._tasks.close()
+        for thread in self._pool:
+            thread.join()
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Registry + cache tiers as one JSON-friendly dict."""
+        out: Dict[str, object] = {
+            "metrics": self.metrics.as_dict(),
+            "index_cache": self.index_cache.snapshot(),
+        }
+        if self.intersection_pool is not None:
+            out["intersection_pool"] = self.intersection_pool.snapshot()
+        return out
+
+    # ------------------------------------------------------------------
+    # Scheduler thread: admit -> resolve index -> plan tasks
+    # ------------------------------------------------------------------
+    def _scheduler_loop(self) -> None:
+        while True:
+            with self._inbox_ready:
+                while not self._inbox:
+                    self._inbox_ready.wait()
+                item = self._inbox.pop(0)
+            if item is _CLOSE:
+                return
+            job: _Job = item
+            try:
+                self._prepare(job)
+            except BudgetExhausted as stop:
+                job.stats.budget_stops += 1
+                self._finalize(
+                    job, [], Status.TRUNCATED, stop_reason=stop.reason
+                )
+                continue
+            except Exception as exc:  # noqa: BLE001 - one bad request
+                # must not take the scheduler (and service) down with it
+                self._finalize(job, [], Status.FAILED, error=repr(exc))
+                continue
+            self._plan(job)
+
+    def _prepare(self, job: _Job) -> None:
+        """Resolve the request's index (cache tiers, then build), start
+        its budget clock, and build its symmetry breaker."""
+        request = job.request
+        job.prepared_at = time.perf_counter()
+        if request.budget is not None and not request.budget.unlimited:
+            job.tracker = request.budget.tracker().start()
+        job.symmetry = SymmetryBreaker(
+            request.query, enabled=request.break_automorphisms
+        )
+
+        build_stats: List[MatchStats] = []
+
+        def build() -> CompactCECI:
+            matcher = self._fresh_matcher(request.query)
+            store = matcher.build()
+            build_stats.append(matcher.stats)
+            assert isinstance(store, CompactCECI)
+            return store
+
+        entry, tag, order = self.index_cache.get_or_build(
+            request.query, build
+        )
+        store = self.index_cache.adapt(entry, request.query, order)
+        if store is None:
+            # Canonical-signature collision (astronomically rare): the
+            # cached representative is not actually isomorphic to this
+            # query.  Build privately; correctness over reuse.
+            matcher = self._fresh_matcher(request.query)
+            built = matcher.build()
+            assert isinstance(built, CompactCECI)
+            store = built
+            build_stats.append(matcher.stats)
+            tag = "miss"
+        job.store = store
+        job.cache_tag = tag
+        job.namespace = (
+            self.index_cache.data_fingerprint,
+            entry.key[1],
+            request.query.fingerprint(),
+        )
+        self.metrics.inc("service_cache_outcomes", label=tag)
+        for stats in build_stats:
+            # The request that paid for the build carries its phases.
+            job.stats.merge(stats)
+            build_seconds = sum(
+                stats.phase_seconds.get(phase, 0.0)
+                for phase in ("preprocess", "filter", "refine", "freeze")
+            )
+            self.metrics.observe("service_build_seconds", build_seconds)
+        # Mirror CECIMatcher.run: the deadline covers index resolution;
+        # a request that used up its budget getting an index returns a
+        # truncated empty prefix rather than enumerating on borrowed
+        # time.
+        if job.tracker is not None:
+            job.tracker.check_deadline()
+
+    def _fresh_matcher(self, query: Graph) -> CECIMatcher:
+        """A matcher with the service-wide index configuration.  Builds
+        never consult the symmetry breaker, so it is disabled here; the
+        request's own breaker is applied at enumeration time."""
+        return CECIMatcher(
+            query,
+            self.data,
+            order_strategy=self.order_strategy,
+            break_automorphisms=False,
+            use_refinement=self.use_refinement,
+            use_intersection=self.use_intersection,
+            store="compact",
+        )
+
+    def _plan(self, job: _Job) -> None:
+        """Enqueue the job's tasks: solo for budgeted/limited requests,
+        one fair-interleaved task per embedding cluster otherwise."""
+        if job.request.solo:
+            self._tasks.push_solo((job, -1, ()))
+            return
+        store = job.store
+        assert store is not None
+        pivots = [int(p) for p in store.pivots]
+        if not pivots:
+            self._finalize(job, [], Status.OK)
+            return
+        workloads = [
+            max(float(store.cluster_cardinality(p)), 1.0) for p in pivots
+        ]
+        plan = dynamic_schedule(sorted(workloads, reverse=True), self.workers)
+        self.metrics.set_gauge("service_plan_makespan", plan.makespan)
+        self.metrics.set_gauge("service_plan_skew", plan.skew)
+        job.parts = [None] * len(pivots)
+        job.remaining = len(pivots)
+        tasks: List[_Task] = [
+            (job, i, (pivot,)) for i, pivot in enumerate(pivots)
+        ]
+        self._tasks.push_job(tasks, workloads)
+
+    # ------------------------------------------------------------------
+    # Worker threads
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            task = self._tasks.pop()
+            if task is None:
+                return
+            job, index, prefix = task
+            try:
+                if index < 0:
+                    self._run_solo(job)
+                else:
+                    self._run_unit(job, index, prefix)
+            except Exception as exc:  # noqa: BLE001 - fail the request,
+                # not the worker: the pool must survive any one query
+                self._fail_unit(job, index, repr(exc))
+
+    def _enumerator(self, job: _Job, stats: MatchStats) -> Enumerator:
+        cache = None
+        if self.intersection_pool is not None:
+            cache = self.intersection_pool.view(job.namespace, stats=stats)
+        assert job.store is not None and job.symmetry is not None
+        return Enumerator(
+            job.store,
+            symmetry=job.symmetry,
+            use_intersection=self.use_intersection,
+            stats=stats,
+            tracker=job.tracker,
+            kernel=job.request.kernel,
+            cache=cache,
+        )
+
+    def _run_solo(self, job: _Job) -> None:
+        """Un-decomposed run — replays the sequential matcher exactly,
+        so budget truncation and ``limit`` prefixes are bit-identical."""
+        started = time.perf_counter()
+        enumerator = self._enumerator(job, job.stats)
+        embeddings = enumerator.collect(job.request.limit)
+        job.stats.add_phase("enumerate", time.perf_counter() - started)
+        if enumerator.truncated:
+            self._finalize(
+                job,
+                embeddings,
+                Status.TRUNCATED,
+                stop_reason=enumerator.stop_reason,
+            )
+        else:
+            self._finalize(job, embeddings, Status.OK)
+
+    def _run_unit(
+        self, job: _Job, index: int, prefix: Tuple[int, ...]
+    ) -> None:
+        """One embedding cluster, enumerated into a *private* stats
+        object merged under the job lock — ``int +=`` is not atomic, so
+        concurrent units writing one stats object would drop counts."""
+        started = time.perf_counter()
+        unit_stats = MatchStats()
+        enumerator = self._enumerator(job, unit_stats)
+        result = enumerator.collect_from_unit(prefix)
+        unit_stats.add_phase("enumerate", time.perf_counter() - started)
+        self.metrics.inc("service_units_total")
+        with job.lock:
+            job.parts[index] = result
+            job.stats.merge(unit_stats)
+            job.remaining -= 1
+            last = job.remaining == 0 and job.error is None
+            failed = job.remaining == 0 and job.error is not None
+        if last:
+            embeddings: List[Embedding] = []
+            for part in job.parts:
+                if part:
+                    embeddings.extend(part)
+            self._finalize(job, embeddings, Status.OK)
+        elif failed:
+            self._finalize(job, [], Status.FAILED, error=job.error)
+
+    def _fail_unit(self, job: _Job, index: int, error: str) -> None:
+        if index < 0:
+            self._finalize(job, [], Status.FAILED, error=error)
+            return
+        with job.lock:
+            job.error = error
+            job.remaining -= 1
+            last = job.remaining == 0
+        if last:
+            self._finalize(job, [], Status.FAILED, error=job.error)
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        job: _Job,
+        embeddings: List[Embedding],
+        status: str,
+        stop_reason: Optional[str] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        now = time.perf_counter()
+        latency = now - job.submitted_at
+        service_seconds = now - job.prepared_at
+        self.metrics.inc("service_requests_total", label=status)
+        self.metrics.observe("service_request_seconds", latency)
+        self.metrics.observe("service_time_seconds", service_seconds)
+        job.pending._resolve(MatchResponse(
+            request_id=job.request.request_id,
+            status=status,
+            embeddings=embeddings,
+            truncated=status == Status.TRUNCATED,
+            stop_reason=stop_reason,
+            cache=job.cache_tag,
+            stats=job.stats,
+            latency_seconds=latency,
+            service_seconds=service_seconds,
+            error=error,
+        ))
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()

@@ -82,3 +82,50 @@ class TestGenerateCommand:
         graph = load_graph_format(out)
         assert graph.num_vertices >= 32
         assert len(graph.distinct_labels()) > 1
+
+
+class TestServeCommand:
+    def test_serves_jsonl_requests(self, files, capsys, monkeypatch):
+        import io
+        import sys
+
+        _, dpath, _ = files
+        lines = [
+            json.dumps({"query": {"n": 3,
+                                  "edges": [[0, 1], [1, 2], [0, 2]]},
+                        "id": 1}),
+            json.dumps({"cmd": "shutdown"}),
+        ]
+        monkeypatch.setattr(sys, "stdin", io.StringIO("\n".join(lines) + "\n"))
+        assert main(["serve", dpath, "--workers", "2",
+                     "--metrics", "json"]) == 0
+        captured = capsys.readouterr()
+        response = json.loads(captured.out.splitlines()[0])
+        assert response["id"] == 1 and response["status"] == "ok"
+        assert response["count"] == 2
+        assert "# served 1 requests" in captured.err
+        snapshot = json.loads(
+            captured.err.split("# served 1 requests", 1)[1]
+        )
+        assert snapshot["index_cache"]["misses"] == 1
+
+
+class TestBenchServiceCommand:
+    def test_writes_schema_valid_report(self, tmp_path, capsys):
+        out = str(tmp_path / "bench.json")
+        assert main([
+            "bench-service", "--vertices", "400", "--labels", "3",
+            "--graph-seed", "7", "--queries", "2", "--requests", "6",
+            "--min-vertices", "3", "--max-vertices", "4",
+            "--max-embeddings", "500", "--workers", "2", "--out", out,
+        ]) == 0
+        captured = capsys.readouterr()
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report == json.loads(captured.out)
+        assert report["schema"] == 1
+        for key in ("cold", "warm", "warm_speedup", "latency",
+                    "throughput_rps", "statuses", "index_cache"):
+            assert key in report, key
+        assert report["statuses"]["ok"] == 2 * 2 + 6
+        assert "# warm speedup" in captured.err

@@ -29,7 +29,20 @@ from repro.graph.generators import dense_labeled, power_law
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_counts.json")
 
-MODES = ["auto", "merge", "gallop", "bitset", "edge-verify"]
+MODES = [
+    "auto",
+    "merge",
+    "gallop",
+    "bitset",
+    "edge-verify",
+    # Service-path configurations: the same instances answered by a
+    # resident MatchService — "service-cold" pays a fresh build,
+    # "service-warm" must serve the repeat from the index cache's hit
+    # path.  Both must reproduce the pinned sequential counts, so a
+    # cache-layer change that corrupts reuse fails here by name.
+    "service-cold",
+    "service-warm",
+]
 
 
 def _quickstart() -> Tuple[Graph, Graph]:
@@ -124,6 +137,8 @@ INSTANCES: Dict[str, Callable[[], Tuple[Graph, Graph]]] = {
 
 
 def count_with(query: Graph, data: Graph, mode: str) -> int:
+    if mode.startswith("service-"):
+        return _service_count(query, data, warm=mode == "service-warm")
     matcher = CECIMatcher(
         query,
         data,
@@ -132,6 +147,20 @@ def count_with(query: Graph, data: Graph, mode: str) -> int:
         kernel="auto" if mode == "edge-verify" else mode,
     )
     return matcher.count()
+
+
+def _service_count(query: Graph, data: Graph, warm: bool) -> int:
+    from repro.service import MatchRequest, MatchService
+
+    with MatchService(data, workers=2) as service:
+        response = service.match(MatchRequest(query, break_automorphisms=False))
+        assert response.ok and response.cache == "miss", response.status
+        if warm:
+            response = service.match(
+                MatchRequest(query, break_automorphisms=False)
+            )
+            assert response.ok and response.cache == "hit", response.cache
+        return response.count
 
 
 def load_golden() -> Dict[str, int]:

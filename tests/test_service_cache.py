@@ -1,0 +1,368 @@
+"""Unit tests for the service's two caching layers and fair scheduler.
+
+The regression that motivates half of this file: a single
+:class:`~repro.kernels.cache.IntersectionCache` shared across concurrent
+requests keys entries on ``(query vertex, parent candidate, NTE
+candidates)`` — a key that says nothing about *which query* produced
+the entry.  Two different queries over one data graph collide on it and
+one query silently enumerates from the other's intersections.  The fix
+is :meth:`~repro.kernels.cache.IntersectionCache.view`: every probe and
+store is prefixed with a per-request namespace, so entries written for
+one query are invisible to every other.  ``test_bare_shared_cache_is_
+unsound`` pins the failure mode itself (so the test fails loudly if the
+instance stops reproducing it) and ``test_namespaced_views_restore_
+correctness`` pins the fix.
+
+The rest covers the :class:`~repro.service.cache.IndexCache` tiers
+(hit / warm spill revival / coalesced in-flight builds / miss), store
+transplantation onto relabeled isomorphic queries, and the weighted
+fair interleaving the batch scheduler runs on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Set, Tuple
+
+import pytest
+
+from conftest import brute_force_embeddings
+from repro.core.automorphism import SymmetryBreaker, canonical_form
+from repro.core.enumeration import Enumerator
+from repro.core.matcher import CECIMatcher
+from repro.core.store import CompactCECI
+from repro.graph import Graph, inject_labels
+from repro.graph.generators import power_law
+from repro.kernels import IntersectionCache
+from repro.service import (
+    CacheEntry,
+    FairTaskQueue,
+    IndexCache,
+    MatchRequest,
+    MatchService,
+    fair_interleave,
+    transplant_store,
+)
+
+# ----------------------------------------------------------------------
+# The cross-query intersection-cache regression
+# ----------------------------------------------------------------------
+
+#: K4 whose vertices 0,1 carry both labels, so they are candidates for
+#: *both* triangle queries below — the bare cache key ``(u, v_p, nte)``
+#: then collides across the queries while the correct TE∩NTE results
+#: differ (vertex 2 only matches "x", vertex 3 only "y").
+POISON_DATA = Graph(
+    4,
+    [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)],
+    labels={0: {"x", "y"}, 1: {"x", "y"}, 2: {"x"}, 3: {"y"}},
+)
+TRIANGLE_X = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["x", "x", "x"])
+TRIANGLE_Y = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["y", "y", "y"])
+
+
+def _enumerate_with(query: Graph, data: Graph, cache) -> Set[Tuple]:
+    """Full embedding set from a fresh index but an *injected* memo
+    cache — exactly how the service wires shared pools into workers."""
+    store = CECIMatcher(query, data, break_automorphisms=False).build()
+    enumerator = Enumerator(
+        store,
+        symmetry=SymmetryBreaker(query, enabled=False),
+        use_intersection=True,
+        cache=cache,
+    )
+    return {tuple(int(v) for v in e) for e in enumerator.collect()}
+
+
+def test_bare_shared_cache_is_unsound():
+    """Sharing one cache *without* namespacing must reproduce the bug:
+    the second query reads the first's entries and emits embeddings
+    that violate its own labels.  If this ever stops failing, the
+    instance no longer exercises the collision and must be replaced."""
+    expected = brute_force_embeddings(TRIANGLE_Y, POISON_DATA)
+    shared = IntersectionCache(threadsafe=True)
+    first = _enumerate_with(TRIANGLE_X, POISON_DATA, shared)
+    assert first == brute_force_embeddings(TRIANGLE_X, POISON_DATA)
+    second = _enumerate_with(TRIANGLE_Y, POISON_DATA, shared)
+    assert second != expected, (
+        "bare key collision no longer reproduces — the regression "
+        "instance has gone stale"
+    )
+    # The poison is specifically a label violation: vertex 2 has no "y".
+    assert any(2 in embedding for embedding in second)
+
+
+def test_namespaced_views_restore_correctness():
+    """The fix: per-query views over one shared pool never leak."""
+    pool = IntersectionCache(threadsafe=True)
+    first = _enumerate_with(
+        TRIANGLE_X, POISON_DATA, pool.view(("data", "qx"))
+    )
+    second = _enumerate_with(
+        TRIANGLE_Y, POISON_DATA, pool.view(("data", "qy"))
+    )
+    assert first == brute_force_embeddings(TRIANGLE_X, POISON_DATA)
+    assert second == brute_force_embeddings(TRIANGLE_Y, POISON_DATA)
+    # Both queries really did share the one bounded pool.
+    assert pool.hits > 0 or len(pool) > 0
+
+
+def test_view_keys_are_disjoint():
+    pool = IntersectionCache(threadsafe=True)
+    a = pool.view("ns-a")
+    b = pool.view("ns-b")
+    a.put((2, 0, 1), [7, 8])
+    assert a.get((2, 0, 1)) == [7, 8]
+    assert b.get((2, 0, 1)) is None
+    assert pool.get((2, 0, 1)) is None  # bare key never stored
+
+
+def test_service_survives_the_poison_pair():
+    """End-to-end: the service runs both colliding queries through its
+    shared pool (namespaced internally) and both answers stay exact."""
+    with MatchService(POISON_DATA, workers=2) as service:
+        for query in (TRIANGLE_X, TRIANGLE_Y, TRIANGLE_X, TRIANGLE_Y):
+            response = service.match(
+                MatchRequest(query, break_automorphisms=False)
+            )
+            assert response.ok
+            got = {tuple(int(v) for v in e) for e in response.embeddings}
+            assert got == brute_force_embeddings(query, POISON_DATA)
+        assert service.intersection_pool is not None
+
+
+# ----------------------------------------------------------------------
+# IndexCache tiers
+# ----------------------------------------------------------------------
+
+def _instance() -> Tuple[Graph, Graph]:
+    data = inject_labels(power_law(80, 3, seed=3), 2, seed=3)
+    query = Graph(3, [(0, 1), (1, 2), (0, 2)])
+    query = data.subgraph(_triangle_vertices(data))
+    return query, data
+
+
+def _triangle_vertices(data: Graph) -> List[int]:
+    for s, d in data.edges:
+        common = set(data.neighbors(s)) & set(data.neighbors(d))
+        if common:
+            return sorted([s, d, common.pop()])
+    raise AssertionError("generator produced a triangle-free graph")
+
+
+def _builder(query: Graph, data: Graph):
+    def build() -> CompactCECI:
+        store = CECIMatcher(query, data, break_automorphisms=False).build()
+        assert isinstance(store, CompactCECI)
+        return store
+
+    return build
+
+
+def _embeddings_from(store: CompactCECI, query: Graph) -> List[Tuple]:
+    enumerator = Enumerator(
+        store, symmetry=SymmetryBreaker(query, enabled=False)
+    )
+    return enumerator.collect()
+
+
+def test_index_cache_miss_then_hit():
+    query, data = _instance()
+    cache = IndexCache(data, capacity=4)
+    entry, tag, order = cache.get_or_build(query, _builder(query, data))
+    assert tag == "miss" and cache.misses == 1
+    again, tag2, order2 = cache.get_or_build(query, _builder(query, data))
+    assert tag2 == "hit" and again is entry and order2 == order
+    # Identical labeling -> adapt returns the very same store object.
+    assert cache.adapt(again, query, order2) is entry.store
+    snap = cache.snapshot()
+    assert snap["hits"] == 1 and snap["misses"] == 1
+    assert snap["hit_rate"] == 0.5
+
+
+def test_index_cache_eviction_spills_and_revives(tmp_path):
+    query, data = _instance()
+    other = data.subgraph(sorted(data.neighbors(0))[:1] + [0])  # an edge
+    cache = IndexCache(data, capacity=1, spill_dir=str(tmp_path))
+    entry, _, order = cache.get_or_build(query, _builder(query, data))
+    reference = _embeddings_from(entry.store, query)
+    cache.get_or_build(other, _builder(other, data))  # evicts the triangle
+    assert cache.evictions == 1 and cache.spills == 1
+    revived, tag, order2 = cache.get_or_build(query, _builder(query, data))
+    assert tag == "warm" and cache.warm_hits == 1
+    store = cache.adapt(revived, query, order2)
+    assert store is not None
+    assert _embeddings_from(store, query) == reference
+
+
+def test_index_cache_without_spill_dir_rebuilds():
+    query, data = _instance()
+    other = data.subgraph(sorted(data.neighbors(0))[:1] + [0])
+    cache = IndexCache(data, capacity=1)
+    cache.get_or_build(query, _builder(query, data))
+    cache.get_or_build(other, _builder(other, data))
+    _, tag, _ = cache.get_or_build(query, _builder(query, data))
+    assert tag == "miss" and cache.misses == 3 and cache.spills == 0
+
+
+def test_index_cache_coalesces_concurrent_builds():
+    """N threads race one cold key: exactly one build happens, the rest
+    wait on the in-flight event and report ``coalesced`` (or ``hit`` if
+    they arrive after insertion)."""
+    query, data = _instance()
+    builds = []
+
+    def slow_build() -> CompactCECI:
+        time.sleep(0.05)
+        builds.append(1)
+        return _builder(query, data)()
+
+    cache = IndexCache(data, capacity=4)
+    tags: List[str] = []
+    barrier = threading.Barrier(4)
+
+    def probe() -> None:
+        barrier.wait()
+        _, tag, _ = cache.get_or_build(query, slow_build)
+        tags.append(tag)
+
+    threads = [threading.Thread(target=probe) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(builds) == 1
+    assert sorted(tags).count("miss") == 1
+    assert set(tags) <= {"miss", "coalesced", "hit"}
+    assert cache.coalesced + cache.hits == 3
+
+
+def test_index_cache_failed_build_releases_waiters():
+    query, data = _instance()
+    cache = IndexCache(data, capacity=4)
+
+    def broken() -> CompactCECI:
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_build(query, broken)
+    # The in-flight slot was released: the next caller becomes the
+    # builder instead of deadlocking on a dead event.
+    _, tag, _ = cache.get_or_build(query, _builder(query, data))
+    assert tag == "miss"
+
+
+def test_index_cache_rejects_bad_capacity():
+    _, data = _instance()
+    with pytest.raises(ValueError):
+        IndexCache(data, capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Transplanting onto relabeled isomorphic queries
+# ----------------------------------------------------------------------
+
+def _permuted(query: Graph, perm: List[int]) -> Graph:
+    """The same labeled graph with vertex ``u`` renamed ``perm[u]``."""
+    edges = [(perm[s], perm[d]) for s, d in query.edges]
+    labels = {perm[u]: query.labels_of(u) for u in query.vertices()}
+    return Graph(query.num_vertices, edges, labels=labels)
+
+
+def test_transplant_matches_brute_force():
+    query, data = _instance()
+    perm = [2, 0, 1]
+    relabeled = _permuted(query, perm)
+    store = CECIMatcher(query, data, break_automorphisms=False).build()
+    assert isinstance(store, CompactCECI)
+    moved = transplant_store(store, relabeled, perm)
+    got = {
+        tuple(int(v) for v in e) for e in _embeddings_from(moved, relabeled)
+    }
+    assert got == brute_force_embeddings(relabeled, data)
+
+
+def test_adapt_serves_relabeled_query_from_one_slot():
+    query, data = _instance()
+    relabeled = _permuted(query, [1, 2, 0])
+    cache = IndexCache(data, capacity=4)
+    cache.get_or_build(query, _builder(query, data))
+    entry, tag, order = cache.get_or_build(
+        relabeled, _builder(relabeled, data)
+    )
+    assert tag == "hit" and len(cache) == 1
+    store = cache.adapt(entry, relabeled, order)
+    assert store is not None and store is not entry.store
+    got = {
+        tuple(int(v) for v in e)
+        for e in _embeddings_from(store, relabeled)
+    }
+    assert got == brute_force_embeddings(relabeled, data)
+
+
+def test_adapt_refuses_non_isomorphic_representative():
+    """A forged signature collision must degrade to ``None`` (the
+    service then builds privately), never to a wrong store."""
+    query, data = _instance()
+    store = CECIMatcher(query, data, break_automorphisms=False).build()
+    assert isinstance(store, CompactCECI)
+    _, canon_order = canonical_form(query)
+    entry = CacheEntry(("fp", "sig"), store, canon_order, 0.0)
+    impostor = Graph(3, [(0, 1), (1, 2)])  # path, not a triangle
+    _, impostor_order = canonical_form(impostor)
+    cache = IndexCache(data, capacity=4)
+    assert cache.adapt(entry, impostor, impostor_order) is None
+
+
+# ----------------------------------------------------------------------
+# Fair interleaving
+# ----------------------------------------------------------------------
+
+def test_fair_interleave_preserves_in_job_order():
+    out = fair_interleave([[3.0, 1.0, 2.0], [1.0, 1.0], [5.0]])
+    for job in range(3):
+        units = [i for j, i in out if j == job]
+        assert units == sorted(units)
+    assert sorted(out) == [
+        (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0),
+    ]
+
+
+def test_fair_interleave_alternates_equal_jobs():
+    out = fair_interleave([[1.0] * 3, [1.0] * 3])
+    assert out == [(0, 0), (1, 0), (0, 1), (1, 1), (0, 2), (1, 2)]
+
+
+def test_fair_interleave_big_job_cannot_starve_small():
+    """A 10-unit job and a 2-unit job: the small job's first unit lands
+    at virtual time 0.5 — after five, not ten, of the big job's."""
+    out = fair_interleave([[1.0] * 10, [5.0, 5.0]])
+    assert out.index((1, 0)) == 5
+    assert out.index((1, 1)) == len(out) - 1
+
+
+def test_fair_task_queue_orders_by_virtual_time():
+    queue: FairTaskQueue[str] = FairTaskQueue()
+    queue.push_job(["a0", "a1", "a2"], [1.0, 1.0, 1.0])
+    queue.push_job(["b0", "b1", "b2"], [1.0, 1.0, 1.0])
+    queue.push_solo("solo")
+    drained = [queue.pop(timeout=0.1) for _ in range(7)]
+    assert drained[0] == "solo"
+    assert drained[1:] == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+
+def test_fair_task_queue_close_drains_then_signals():
+    queue: FairTaskQueue[int] = FairTaskQueue()
+    queue.push_solo(1)
+    queue.close()
+    assert queue.pop() == 1
+    assert queue.pop() is None
+    with pytest.raises(RuntimeError):
+        queue.push_solo(2)
+
+
+def test_fair_task_queue_mismatched_workloads_rejected():
+    queue: FairTaskQueue[int] = FairTaskQueue()
+    with pytest.raises(ValueError):
+        queue.push_job([1, 2], [1.0])

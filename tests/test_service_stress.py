@@ -1,0 +1,258 @@
+"""Concurrency stress for the resident match service.
+
+N client threads hammer one service with a mixed seeded workload and
+every response is checked against precomputed sequential counts.  What
+must hold under contention:
+
+* **no cross-request bleed** — each response's ``stats`` describe that
+  request alone (``embeddings_found == count``), even though all
+  requests share one intersection pool and one metrics registry;
+* **no torn index reuse** — every repeat of a query, from any thread
+  and any cache tier, reports the same embedding count;
+* **rejected requests touch nothing** — a request shed at admission
+  resolves immediately and leaves every shared counter and cache slot
+  exactly as it found them.
+
+The module-level tests are the fast tier-1 subset; the
+``@pytest.mark.slow`` test scales the same invariants up (more
+threads, more queries, budgets and limits mixed in, admission shedding
+allowed) and is excluded from the CI tier-1 job via ``-m "not slow"``
+but run by the dedicated service job under a hard timeout.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+
+from repro.core.matcher import CECIMatcher
+from repro.graph import Graph, inject_labels
+from repro.graph.generators import power_law
+from repro.resilience.budget import Budget
+from repro.service import (
+    MatchRequest,
+    MatchService,
+    Status,
+    generate_workload,
+)
+
+
+def _workload(
+    vertices: int, labels: int, queries: int, seed: int, cap: int = 500
+) -> Tuple[Graph, List[Graph], List[int]]:
+    """(data, queries, sequential counts) — counts are the ground truth
+    every concurrent response is checked against."""
+    data = inject_labels(power_law(vertices, 3, seed=seed), labels, seed=seed)
+    pool = generate_workload(
+        data, queries, seed=seed, min_vertices=3, max_vertices=5,
+        max_embeddings=cap,
+    )
+    counts = [
+        CECIMatcher(q, data, break_automorphisms=False).count() for q in pool
+    ]
+    return data, pool, counts
+
+
+def _hammer(
+    service: MatchService,
+    queries: List[Graph],
+    counts: List[int],
+    threads: int,
+    rounds: int,
+    seed: int,
+    budgets: bool = False,
+) -> Dict[str, int]:
+    """Drive the service from ``threads`` clients; raise on the first
+    broken invariant.  Returns the observed status tally."""
+    errors: List[str] = []
+    statuses: Dict[str, int] = {status: 0 for status in Status.ALL}
+    tally_lock = threading.Lock()
+    barrier = threading.Barrier(threads)
+
+    def check(index: int, response, limit: Optional[int]) -> None:
+        with tally_lock:
+            statuses[response.status] += 1
+        if response.status == Status.REJECTED:
+            return  # legal under shedding; checked separately
+        if response.status == Status.FAILED:
+            raise AssertionError(f"query {index} failed: {response.error}")
+        expected = counts[index]
+        if limit is not None:
+            expected = min(limit, expected)
+        if response.count != expected:
+            raise AssertionError(
+                f"query {index} returned {response.count} embeddings, "
+                f"expected {expected} (cache {response.cache}, "
+                f"status {response.status})"
+            )
+        if response.stats.embeddings_found != response.count:
+            raise AssertionError(
+                f"query {index}: stats bleed — embeddings_found="
+                f"{response.stats.embeddings_found} but count="
+                f"{response.count}"
+            )
+
+    def client(tid: int) -> None:
+        rng = random.Random(seed * 1000 + tid)
+        barrier.wait()
+        try:
+            for _ in range(rounds):
+                index = rng.randrange(len(queries))
+                limit: Optional[int] = None
+                kwargs = {}
+                if budgets and rng.random() < 0.3:
+                    limit = rng.randint(1, max(counts[index], 1))
+                    kwargs["limit"] = limit
+                elif budgets and rng.random() < 0.3:
+                    cap = rng.randint(1, max(counts[index], 1))
+                    kwargs["budget"] = Budget(max_embeddings=cap)
+                    limit = cap  # truncation cap behaves like a limit
+                response = service.match(MatchRequest(
+                    queries[index], break_automorphisms=False, **kwargs
+                ))
+                check(index, response, limit)
+        except AssertionError as exc:
+            errors.append(f"thread {tid}: {exc}")
+
+    workers = [
+        threading.Thread(target=client, args=(tid,)) for tid in range(threads)
+    ]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    assert not errors, "\n".join(errors)
+    return statuses
+
+
+def test_concurrent_mixed_queries_stay_exact():
+    data, queries, counts = _workload(150, 3, queries=4, seed=5)
+    with MatchService(data, workers=3, max_pending=256) as service:
+        statuses = _hammer(
+            service, queries, counts, threads=4, rounds=6, seed=5
+        )
+    assert statuses[Status.OK] == 4 * 6
+    assert statuses[Status.REJECTED] == 0
+    # The cache served most repeats: at most one build per query class.
+    assert service.index_cache.misses <= len(queries)
+
+
+def test_same_query_from_all_threads_no_torn_store():
+    """Every thread slams the same cold query simultaneously: one build
+    (or a private duplicate, never a torn one) and identical answers."""
+    data, queries, counts = _workload(150, 3, queries=1, seed=9)
+    query, expected = queries[0], counts[0]
+    results: List[int] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(6)
+
+    with MatchService(data, workers=3, max_pending=64) as service:
+        def client() -> None:
+            barrier.wait()
+            for _ in range(3):
+                response = service.match(
+                    MatchRequest(query, break_automorphisms=False)
+                )
+                assert response.ok, response.error
+                with lock:
+                    results.append(response.count)
+
+        threads = [threading.Thread(target=client) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert results == [expected] * 18
+    # All 18 requests resolved through one cache slot.
+    assert len(service.index_cache) == 1
+    assert service.index_cache.misses == 1
+
+
+def test_rejected_requests_never_mutate_shared_state():
+    """Deterministic shedding: the scheduler is gated inside the first
+    request's index resolution, so the single pending slot stays busy
+    while further submissions arrive — they must bounce instantly and
+    leave the caches and metrics untouched."""
+    data, queries, _ = _workload(150, 3, queries=2, seed=11)
+    gate = threading.Event()
+    entered = threading.Event()
+
+    with MatchService(data, workers=1, max_pending=1) as service:
+        original = service.index_cache.get_or_build
+
+        def gated(query, build):
+            entered.set()
+            assert gate.wait(timeout=30)
+            return original(query, build)
+
+        service.index_cache.get_or_build = gated
+        try:
+            first = service.submit(
+                MatchRequest(queries[0], break_automorphisms=False)
+            )
+            assert entered.wait(timeout=30)
+            index_before = service.index_cache.snapshot()
+            assert service.intersection_pool is not None
+            pool_before = service.intersection_pool.snapshot()
+            shed = [
+                service.submit(
+                    MatchRequest(queries[1], break_automorphisms=False)
+                )
+                for _ in range(5)
+            ]
+            # Shedding is synchronous: resolved before submit returned.
+            assert all(handle.done() for handle in shed)
+            for handle in shed:
+                response = handle.result()
+                assert response.status == Status.REJECTED
+                assert response.embeddings == [] and response.cache is None
+                assert "queue depth" in (response.error or "")
+            assert service.index_cache.snapshot() == index_before
+            assert service.intersection_pool.snapshot() == pool_before
+            assert service.metrics.get(
+                "service_requests_total", label=Status.REJECTED
+            ) == 5
+        finally:
+            service.index_cache.get_or_build = original
+            gate.set()
+        assert first.result(timeout=60).ok
+        # The slot freed: the service accepts and serves again.
+        assert service.match(
+            MatchRequest(queries[1], break_automorphisms=False)
+        ).ok
+
+
+@pytest.mark.slow
+def test_stress_heavy_mixed_workload():
+    """The scaled-up version: 8 threads, 6 query classes, limits and
+    budgets mixed in, tight admission so shedding actually happens —
+    every non-shed answer must still be exact and the service must end
+    the run drained and consistent."""
+    data, queries, counts = _workload(400, 5, queries=6, seed=21, cap=800)
+    with MatchService(
+        data, workers=4, max_pending=16, index_capacity=4
+    ) as service:
+        statuses = _hammer(
+            service, queries, counts, threads=8, rounds=12, seed=21,
+            budgets=True,
+        )
+        assert service.drain(timeout=60)
+    total = sum(statuses.values())
+    assert total == 8 * 12
+    assert statuses[Status.FAILED] == 0
+    assert statuses[Status.OK] + statuses[Status.TRUNCATED] >= total - \
+        statuses[Status.REJECTED]
+    snapshot = service.index_cache.snapshot()
+    # With capacity 4 < 6 classes the LRU must have churned, and the
+    # counters must balance: every resolution is exactly one tier.
+    assert snapshot["entries"] <= 4
+    resolutions = (
+        service.index_cache.hits
+        + service.index_cache.warm_hits
+        + service.index_cache.coalesced
+        + service.index_cache.misses
+    )
+    assert resolutions == total - statuses[Status.REJECTED]
