@@ -337,8 +337,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 
 def _service_from(args: argparse.Namespace, data: Graph):
+    from .resilience.recovery import RetryPolicy
     from .service import MatchService
 
+    retry_policy = None
+    if args.retries > 0:
+        retry_policy = RetryPolicy(
+            max_retries=args.retries,
+            backoff_base_seconds=0.01,
+            backoff_max_seconds=1.0,
+        )
     return MatchService(
         data,
         workers=args.workers or 2,
@@ -346,6 +354,9 @@ def _service_from(args: argparse.Namespace, data: Graph):
         index_capacity=args.index_capacity,
         spill_dir=args.spill_dir,
         order_strategy=args.order,
+        deadline_seconds=args.deadline,
+        retry_policy=retry_policy,
+        spill_max_bytes=args.spill_max_bytes,
     )
 
 
@@ -381,6 +392,8 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
             args.labels,
             seed=args.graph_seed,
         )
+    if args.chaos:
+        return _bench_chaos(args, data)
     with _service_from(args, data) as service:
         report = run_benchmark(
             service,
@@ -403,6 +416,61 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
         f"{report['throughput_rps']:.0f} req/s",
         file=sys.stderr,
     )
+    return 0
+
+
+def _bench_chaos(args: argparse.Namespace, data: Graph) -> int:
+    """``bench-service --chaos``: seeded fault injection with a hard
+    gate — zero wrong results, bounded availability loss, and a
+    full-strength worker pool, or a non-zero exit."""
+    from .service.loadgen import run_chaos
+
+    report = run_chaos(
+        data,
+        num_queries=args.queries,
+        requests=args.requests,
+        seed=args.chaos_seed,
+        workers=args.workers or 2,
+        max_retries=args.retries or 2,
+        deadline_seconds=args.deadline,
+        spill_dir=args.spill_dir,
+        min_vertices=args.min_vertices,
+        max_vertices=args.max_vertices,
+        max_embeddings=args.max_embeddings,
+    )
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    wrong = report["wrong_results"]
+    availability = report["availability"]
+    full_strength = report["pool_full_strength"]
+    print(
+        f"# chaos: {report['statuses']['ok']}/{args.requests} ok "
+        f"(availability {availability:.2f}), "
+        f"{len(wrong)} wrong results, "
+        f"{report['retries_total']} retries, "
+        f"{report['worker_respawns']} respawns, "
+        f"pool {'full' if full_strength else 'DEGRADED'}",
+        file=sys.stderr,
+    )
+    failures = []
+    if wrong:
+        failures.append(f"{len(wrong)} wrong results (must be 0)")
+    if availability < args.min_availability:
+        failures.append(
+            f"availability {availability:.2f} below the "
+            f"--min-availability {args.min_availability} gate"
+        )
+    if not full_strength:
+        failures.append(
+            f"worker pool degraded: {report['healthy_workers']} of "
+            f"{args.workers or 2} workers alive"
+        )
+    if failures:
+        print("# chaos gate FAILED: " + "; ".join(failures), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -530,6 +598,19 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--order", default="bfs",
                        choices=["bfs", "edge_ranked", "path_ranked"],
                        help="service-wide matching-order strategy")
+        p.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default end-to-end request deadline "
+                            "(queue wait + index build + matching); "
+                            "expired requests resolve status 'timeout'")
+        p.add_argument("--retries", type=int, default=0, metavar="N",
+                       help="transparently re-run requests failed by "
+                            "worker crashes up to N times "
+                            "(exponential backoff + jitter; default 0)")
+        p.add_argument("--spill-max-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="byte-bound the spill directory; oldest "
+                            "spill files are LRU-evicted past it")
         p.add_argument("--metrics", default=None, choices=["json", "prom"],
                        help="dump the service metrics registry and "
                             "cache snapshots to stderr on shutdown")
@@ -573,6 +654,18 @@ def _build_parser() -> argparse.ArgumentParser:
                               "index reuse, not enumeration)")
     p_bench.add_argument("--out", default=None, metavar="FILE",
                          help="also write the report JSON to FILE")
+    p_bench.add_argument("--chaos", action="store_true",
+                         help="run the seeded fault-injection harness "
+                              "instead of the benchmark: inject worker "
+                              "crashes, build failures and spill "
+                              "corruption, then gate on zero wrong "
+                              "results, bounded availability loss and "
+                              "a full-strength pool")
+    p_bench.add_argument("--chaos-seed", type=int, default=0,
+                         help="seed of the injected fault plan")
+    p_bench.add_argument("--min-availability", type=float, default=0.6,
+                         help="chaos gate: minimum fraction of requests "
+                              "that must still complete OK")
     add_service_args(p_bench)
     p_bench.set_defaults(fn=_cmd_bench_service)
 

@@ -20,13 +20,24 @@ Two formats share one file extension:
 * ``CECIIDX2`` (legacy) — the same arrays decoded back into the dict
   builder; kept so previously written indexes stay loadable and for
   the ``--store dict`` pipeline.
+
+**Integrity.**  Since minor version 3.1 the v3 header carries a CRC32
+per array block (``"block_crc32"``; CRC32C/xxhash would be preferable
+but need non-stdlib deps, and zlib's CRC32 catches the same bit-flip
+class).  Loads verify every block *before* any array is materialised
+or memory-mapped, so a corrupted file — torn write, bit rot, truncation
+— raises :class:`ChecksumError` instead of serving garbage candidates.
+Files written before 3.1 have no checksums and still load; the result
+is marked ``checksum_verified = False`` so callers (the service spill
+tier) can decide whether to trust them.
 """
 
 from __future__ import annotations
 
 import io
 import json
-from typing import BinaryIO, Dict, List, Tuple, Union
+import zlib
+from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +47,7 @@ from .query_tree import QueryTree
 from .store import CompactCECI, PairArrays, encode_pairs
 
 __all__ = [
+    "ChecksumError",
     "save_ceci",
     "load_ceci",
     "dump_ceci_bytes",
@@ -46,6 +58,11 @@ __all__ = [
 
 _MAGIC = b"CECIIDX2"  # legacy dict-builder blobs
 _MAGIC_V3 = b"CECIIDX3"  # compact-store format (current)
+
+
+class ChecksumError(ValueError):
+    """A stored array block does not match its recorded checksum —
+    the file is corrupt and must not be served from."""
 
 _encode_pairs = encode_pairs  # shared with the compact store
 
@@ -168,38 +185,81 @@ def dump_store_bytes(index: Union[CECI, CompactCECI]) -> bytes:
 
     The array order is fixed: pivots, then per query vertex the TE
     triple, each NTE group triple (group keys ascending, recorded in
-    the header), and the cardinality ``(keys, values)`` pair.
+    the header), and the cardinality ``(keys, values)`` pair.  Each
+    block's CRC32 lands in the header (``"block_crc32"``) so loads can
+    verify integrity before touching any array.
     """
     store = index if isinstance(index, CompactCECI) else index.compact()
     tree = store.tree
-    buf = io.BytesIO()
-    _write_header(buf, _MAGIC_V3, _header_of(store))
-    np.save(buf, store.pivots, allow_pickle=False)
+
+    def encode(array: np.ndarray) -> bytes:
+        block = io.BytesIO()
+        np.save(block, array, allow_pickle=False)
+        return block.getvalue()
+
+    blocks: List[bytes] = [encode(store.pivots)]
     for u in range(tree.query.num_vertices):
         for array in store.te[u]:
-            np.save(buf, array, allow_pickle=False)
+            blocks.append(encode(array))
         for u_n in sorted(store.nte[u]):
             for array in store.nte[u][u_n]:
-                np.save(buf, array, allow_pickle=False)
+                blocks.append(encode(array))
         for array in store.card[u]:
-            np.save(buf, array, allow_pickle=False)
+            blocks.append(encode(array))
+
+    header = _header_of(store)
+    header["checksum"] = "crc32"
+    header["block_bytes"] = [len(block) for block in blocks]
+    header["block_crc32"] = [
+        zlib.crc32(block) & 0xFFFFFFFF for block in blocks
+    ]
+    buf = io.BytesIO()
+    _write_header(buf, _MAGIC_V3, header)
+    for block in blocks:
+        buf.write(block)
     return buf.getvalue()
 
 
-def _read_block(handle: BinaryIO, path: str, mmap: bool) -> np.ndarray:
+def _read_block(
+    handle: BinaryIO,
+    path: str,
+    mmap: bool,
+    expected: Optional[Tuple[int, int]] = None,
+) -> np.ndarray:
     """One ``.npy`` block, either loaded or mapped in place.
 
-    The mmap path parses only the npy header, creates a read-only
-    ``np.memmap`` view at the data offset and seeks past the block —
-    the candidate payload never enters the Python heap.
+    ``expected`` is the header-recorded ``(length, crc32)`` of the
+    block; when given, the raw bytes are read and CRC-verified *before*
+    any npy parsing happens — a corrupt block (even one whose npy
+    header is mangled) raises :class:`ChecksumError` and is never
+    loaded or mapped.  The mmap path parses only the npy header,
+    creates a read-only ``np.memmap`` view at the data offset and seeks
+    past the block — the candidate payload never enters the Python
+    heap.
     """
+    start = handle.tell()
+    if expected is not None:
+        length, expected_crc = int(expected[0]), int(expected[1])
+        raw = handle.read(length)
+        if len(raw) != length:
+            raise ChecksumError(
+                f"truncated array block at byte {start} "
+                f"(wanted {length} bytes, file has {len(raw)})"
+            )
+        actual = zlib.crc32(raw) & 0xFFFFFFFF
+        if actual != expected_crc:
+            raise ChecksumError(
+                f"array block at byte {start} fails CRC32 "
+                f"(stored {expected_crc:#010x}, computed {actual:#010x})"
+            )
+        handle.seek(start)
     if not mmap:
         return np.load(handle, allow_pickle=False)
     version = np.lib.format.read_magic(handle)
     if version == (1, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+        shape, _fortran, dtype = np.lib.format.read_array_header_1_0(handle)
     elif version == (2, 0):
-        shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+        shape, _fortran, dtype = np.lib.format.read_array_header_2_0(handle)
     else:  # pragma: no cover - numpy only writes 1.0/2.0 today
         raise ValueError(f"unsupported npy format version {version}")
     offset = handle.tell()
@@ -215,16 +275,33 @@ def _read_block(handle: BinaryIO, path: str, mmap: bool) -> np.ndarray:
 
 
 def _load_store(
-    handle: BinaryIO, data: Graph, path: str, mmap: bool
+    handle: BinaryIO, data: Graph, path: str, mmap: bool, verify: bool = True
 ) -> CompactCECI:
     """Rebuild a :class:`CompactCECI` from a v3 stream positioned just
-    after the magic — straight into arrays, never through dicts."""
+    after the magic — straight into arrays, never through dicts.
+
+    With ``verify`` (the default) every block is CRC-checked against
+    the header's ``block_crc32`` table before it is loaded or mapped;
+    pre-3.1 files have no table, load unverified, and come back with
+    ``checksum_verified = False``.
+    """
     header = _read_header(handle)
     tree = _rebuild_tree(header)
     n = tree.query.num_vertices
+    checksums = None
+    if verify and "block_crc32" in header and "block_bytes" in header:
+        checksums = list(zip(header["block_bytes"], header["block_crc32"]))
+    cursor = iter(checksums) if checksums is not None else None
 
     def block() -> np.ndarray:
-        return _read_block(handle, path, mmap)
+        expected = None
+        if cursor is not None:
+            expected = next(cursor, None)
+            if expected is None:
+                raise ChecksumError(
+                    "checksum table shorter than the block stream"
+                )
+        return _read_block(handle, path, mmap, expected=expected)
 
     pivots = block()
     te: List[PairArrays] = []
@@ -237,18 +314,24 @@ def _load_store(
             groups[int(u_n)] = (block(), block(), block())
         nte.append(groups)
         card.append((block(), block()))
-    return CompactCECI(
+    store = CompactCECI(
         tree, data, pivots, te, nte, card,
         nte_built=bool(header.get("nte_built", True)),
     )
+    store.checksum_verified = checksums is not None
+    return store
 
 
-def load_store_bytes(blob: bytes, data: Graph) -> CompactCECI:
-    """Reconstruct a compact store from v3 bytes (no dict round-trip)."""
+def load_store_bytes(
+    blob: bytes, data: Graph, verify: bool = True
+) -> CompactCECI:
+    """Reconstruct a compact store from v3 bytes (no dict round-trip).
+    ``verify`` CRC-checks every block when the blob carries checksums;
+    a corrupt block raises :class:`ChecksumError`."""
     buf = io.BytesIO(blob)
     if buf.read(len(_MAGIC_V3)) != _MAGIC_V3:
         raise ValueError("not a compact CECI store blob")
-    return _load_store(buf, data, "<bytes>", mmap=False)
+    return _load_store(buf, data, "<bytes>", mmap=False, verify=verify)
 
 
 def _parse(token: str) -> object:
@@ -276,18 +359,20 @@ def save_ceci(index: Union[CECI, CompactCECI], path: str) -> None:
 
 
 def load_ceci(
-    path: str, data: Graph, mmap: bool = True
+    path: str, data: Graph, mmap: bool = True, verify: bool = True
 ) -> Union[CECI, CompactCECI]:
     """Load an index from ``path`` against the identical data graph.
 
     v3 files come back as a :class:`CompactCECI` whose arrays are
     ``np.memmap`` views into the file (pass ``mmap=False`` to read them
     into RAM instead); legacy files come back as the dict builder.
+    ``verify`` CRC-checks checksummed v3 files block-by-block *before*
+    anything is mapped; corruption raises :class:`ChecksumError`.
     """
     with open(path, "rb") as handle:
         magic = handle.read(len(_MAGIC_V3))
         if magic == _MAGIC_V3:
-            return _load_store(handle, data, path, mmap=mmap)
+            return _load_store(handle, data, path, mmap=mmap, verify=verify)
         if magic == _MAGIC:
             handle.seek(0)
             return load_ceci_bytes(handle.read(), data)

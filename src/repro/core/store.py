@@ -150,6 +150,11 @@ class CompactCECI:
     a loaded index can be ``np.memmap``-backed transparently.
     """
 
+    #: Whether the arrays were integrity-checked on the way in.  True
+    #: for stores built in memory; the persist loader sets False when a
+    #: pre-checksum (v3.0) file is loaded without a CRC table.
+    checksum_verified: bool = True
+
     def __init__(
         self,
         tree: QueryTree,

@@ -21,7 +21,12 @@ from .budget import (
     PartialResult,
     embedding_bytes,
 )
-from .faults import FaultPlan, InjectedCrash, InjectedUnitError
+from .faults import (
+    FaultPlan,
+    InjectedBuildError,
+    InjectedCrash,
+    InjectedUnitError,
+)
 from .recovery import (
     FailureReport,
     ParallelExecutionError,
@@ -36,6 +41,7 @@ __all__ = [
     "BudgetTracker",
     "FailureReport",
     "FaultPlan",
+    "InjectedBuildError",
     "InjectedCrash",
     "InjectedUnitError",
     "ParallelExecutionError",

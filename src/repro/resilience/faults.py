@@ -21,6 +21,27 @@ up front by a :class:`FaultPlan` and injected at deterministic points:
 * ``slow_machines[m] = f`` — machine ``m``'s enumeration costs are
   multiplied by ``f`` (a straggler), which drives extra work stealing.
 
+The **service-level** fault points drive the resident
+:class:`~repro.service.service.MatchService`'s hardening layer (the
+watchdog, retry, and spill-integrity paths) through the same seeded
+discipline:
+
+* ``service_worker_crash_picks = {k, ...}`` — the service worker that
+  pops its ``k``-th task *globally* dies mid-job (the thread exits; the
+  watchdog must detect the death, fail or retry the in-flight work, and
+  respawn the slot);
+* ``build_failure_picks = {k, ...}`` — the ``k``-th index build the
+  service pays for raises :class:`InjectedBuildError`;
+* ``spill_torn_write_picks = {k, ...}`` — the ``k``-th spill write is
+  torn short (the blob is truncated mid-array, simulating a crash
+  between ``write`` and ``fsync``);
+* ``spill_read_corrupt_picks = {k, ...}`` — the ``k``-th spill read
+  observes a single flipped byte (bit rot / torn sector), which the
+  CECIIDX3 block checksums must catch;
+* ``scheduler_stall_picks`` / ``scheduler_stall_seconds`` — the
+  scheduler wedges for a bounded interval before preparing the ``k``-th
+  admitted job, which end-to-end request deadlines must absorb.
+
 Every stochastic decision flows from ``seed`` through
 :meth:`FaultPlan.rng`, so a plan replays identically run after run —
 the deterministic-seed guarantee DESIGN.md documents.
@@ -32,7 +53,12 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet
 
-__all__ = ["FaultPlan", "InjectedCrash", "InjectedUnitError"]
+__all__ = [
+    "FaultPlan",
+    "InjectedBuildError",
+    "InjectedCrash",
+    "InjectedUnitError",
+]
 
 
 class InjectedCrash(RuntimeError):
@@ -55,6 +81,16 @@ class InjectedUnitError(RuntimeError):
         self.unit_index = unit_index
 
 
+class InjectedBuildError(RuntimeError):
+    """A planned failure of one service-paid index build.  Counts as a
+    *transient* fault: the service retry policy may transparently rerun
+    the request that hit it."""
+
+    def __init__(self, build_index: int) -> None:
+        super().__init__(f"injected failure of index build #{build_index}")
+        self.build_index = build_index
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, seeded description of the failures to inject."""
@@ -65,6 +101,17 @@ class FaultPlan:
     worker_error_picks: FrozenSet[int] = field(default_factory=frozenset)
     message_drop_rate: float = 0.0
     slow_machines: Dict[int, float] = field(default_factory=dict)
+    # Service-level fault points (see module docstring).
+    service_worker_crash_picks: FrozenSet[int] = field(
+        default_factory=frozenset
+    )
+    build_failure_picks: FrozenSet[int] = field(default_factory=frozenset)
+    spill_torn_write_picks: FrozenSet[int] = field(default_factory=frozenset)
+    spill_read_corrupt_picks: FrozenSet[int] = field(
+        default_factory=frozenset
+    )
+    scheduler_stall_picks: FrozenSet[int] = field(default_factory=frozenset)
+    scheduler_stall_seconds: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.message_drop_rate < 1.0:
@@ -74,6 +121,12 @@ class FaultPlan:
                 raise ValueError(
                     f"slow_machines[{m}] must be >= 1.0, got {factor}"
                 )
+        if self.scheduler_stall_seconds < 0.0:
+            raise ValueError("scheduler_stall_seconds must be >= 0")
+        if self.scheduler_stall_picks and self.scheduler_stall_seconds == 0.0:
+            raise ValueError(
+                "scheduler_stall_picks requires scheduler_stall_seconds > 0"
+            )
 
     def rng(self) -> random.Random:
         """A fresh RNG seeded by the plan — identical streams on every
@@ -99,6 +152,26 @@ class FaultPlan:
         """Cost multiplier for ``machine`` (1.0 = healthy)."""
         return self.slow_machines.get(machine, 1.0)
 
+    def service_worker_crashes_at(self, task_pick: int) -> bool:
+        """Does the service worker popping the globally n-th task die?"""
+        return task_pick in self.service_worker_crash_picks
+
+    def build_fails_at(self, build_index: int) -> bool:
+        """Does the n-th service index build raise?"""
+        return build_index in self.build_failure_picks
+
+    def spill_write_torn_at(self, spill_index: int) -> bool:
+        """Is the n-th spill write torn short?"""
+        return spill_index in self.spill_torn_write_picks
+
+    def spill_read_corrupt_at(self, read_index: int) -> bool:
+        """Does the n-th spill read observe a flipped byte?"""
+        return read_index in self.spill_read_corrupt_picks
+
+    def scheduler_stalls_at(self, job_index: int) -> bool:
+        """Does the scheduler wedge before preparing the n-th job?"""
+        return job_index in self.scheduler_stall_picks
+
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
@@ -108,6 +181,11 @@ class FaultPlan:
             and not self.worker_error_picks
             and self.message_drop_rate == 0.0
             and not self.slow_machines
+            and not self.service_worker_crash_picks
+            and not self.build_failure_picks
+            and not self.spill_torn_write_picks
+            and not self.spill_read_corrupt_picks
+            and not self.scheduler_stall_picks
         )
 
     # ------------------------------------------------------------------
@@ -147,4 +225,46 @@ class FaultPlan:
             machine_crashes=machine_crashes,
             worker_crash_picks=frozenset(crash_picks),
             message_drop_rate=message_drop_rate,
+        )
+
+    @classmethod
+    def service_chaos(
+        cls,
+        seed: int,
+        requests: int,
+        crash_fraction: float = 0.15,
+        build_failure_fraction: float = 0.1,
+        spill_fault_fraction: float = 0.25,
+        stall_fraction: float = 0.0,
+        stall_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """A randomized-but-deterministic *service* plan sized to a run
+        of ``requests`` requests: a fraction of task picks kill their
+        worker, a fraction of index builds fail, a fraction of spill
+        writes/reads are torn/corrupted, and (optionally) the scheduler
+        stalls before a fraction of jobs.  The same seed always yields
+        the same plan, so a chaos run replays exactly."""
+        if requests < 1:
+            raise ValueError("requests must be >= 1")
+        rng = random.Random(seed)
+
+        def picks(fraction: float, span: int) -> FrozenSet[int]:
+            count = min(int(span * fraction + 0.5), span)
+            if fraction > 0.0:
+                count = max(count, 1)
+            return frozenset(rng.sample(range(span), count))
+
+        stall_picks = picks(stall_fraction, requests)
+        return cls(
+            seed=seed,
+            service_worker_crash_picks=picks(crash_fraction, requests),
+            build_failure_picks=picks(build_failure_fraction, requests),
+            spill_torn_write_picks=picks(
+                spill_fault_fraction, max(requests // 2, 1)
+            ),
+            spill_read_corrupt_picks=picks(
+                spill_fault_fraction, max(requests // 2, 1)
+            ),
+            scheduler_stall_picks=stall_picks,
+            scheduler_stall_seconds=stall_seconds if stall_picks else 0.0,
         )

@@ -17,7 +17,7 @@ graph resident and answers *streams* of queries:
 """
 
 from .cache import CacheEntry, IndexCache, transplant_store
-from .loadgen import generate_workload, run_benchmark, sample_query
+from .loadgen import generate_workload, run_benchmark, run_chaos, sample_query
 from .request import MatchRequest, MatchResponse, Status
 from .scheduler import FairTaskQueue, fair_interleave
 from .server import serve
@@ -35,6 +35,7 @@ __all__ = [
     "fair_interleave",
     "generate_workload",
     "run_benchmark",
+    "run_chaos",
     "sample_query",
     "serve",
     "service_metric_specs",

@@ -41,7 +41,7 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.automorphism import canonical_form
-from ..core.persist import dump_store_bytes, load_store_bytes
+from ..core.persist import ChecksumError, dump_store_bytes, load_store_bytes
 from ..core.query_tree import QueryTree
 from ..core.store import CompactCECI, PairArrays
 from ..graph import Graph
@@ -146,26 +146,55 @@ class IndexCache:
         data: Graph,
         capacity: int = 32,
         spill_dir: Optional[str] = None,
+        spill_max_bytes: Optional[int] = None,
         metrics=None,
+        fault_plan=None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if spill_max_bytes is not None and spill_max_bytes < 1:
+            raise ValueError("spill_max_bytes must be >= 1")
         self.data = data
         self.data_fingerprint = data.fingerprint()
         self.capacity = capacity
         self.spill_dir = spill_dir
+        self.spill_max_bytes = spill_max_bytes
         if spill_dir is not None:
             os.makedirs(spill_dir, exist_ok=True)
         self.metrics = metrics
+        #: Seeded FaultPlan consulted at the spill write/read points
+        #: (torn writes, corrupted reads) — the service chaos harness.
+        self.fault_plan = fault_plan
         self._lru: "OrderedDict[Tuple[str, str], CacheEntry]" = OrderedDict()
         self._inflight: Dict[Tuple[str, str], threading.Event] = {}
         self._lock = threading.Lock()
+        #: Spill files in LRU order (path -> bytes on disk); pre-existing
+        #: blobs found in spill_dir join in mtime order so a restarted
+        #: service keeps honouring the byte bound.
+        self._spill_files: "OrderedDict[str, int]" = OrderedDict()
+        self._spill_writes = 0
+        self._spill_reads = 0
         self.hits = 0
         self.warm_hits = 0
         self.misses = 0
         self.coalesced = 0
         self.evictions = 0
         self.spills = 0
+        self.spill_corrupt = 0
+        self.spill_evicted = 0
+        if spill_dir is not None:
+            found = []
+            for name in os.listdir(spill_dir):
+                if not name.endswith(".ceci"):
+                    continue
+                path = os.path.join(spill_dir, name)
+                try:
+                    stat = os.stat(path)
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, path, stat.st_size))
+            for _, path, size in sorted(found):
+                self._spill_files[path] = size
 
     def __len__(self) -> int:
         with self._lock:
@@ -269,40 +298,116 @@ class IndexCache:
         return os.path.join(self.spill_dir, f"{digest}.ceci")
 
     def _spill(self, entry: CacheEntry) -> None:
-        """Evicted entries demote to a CECIIDX3 blob on disk instead of
-        vanishing — reviving arrays is far cheaper than rebuilding."""
+        """Evicted entries demote to a checksummed CECIIDX3 blob on disk
+        instead of vanishing — reviving arrays is far cheaper than
+        rebuilding.  The spill directory is byte-bounded: past
+        ``spill_max_bytes`` the least-recently-used blobs are deleted
+        (called with the cache lock held)."""
         if self.spill_dir is None:
             return
         path = self._spill_path(entry.key)
         if os.path.exists(path):
             return
         blob = dump_store_bytes(entry.store)
+        write_index = self._spill_writes
+        self._spill_writes += 1
+        if self.fault_plan is not None and self.fault_plan.spill_write_torn_at(
+            write_index
+        ):
+            # Injected torn write: the blob is cut mid-array, as if the
+            # process died between write() and fsync().  The checksum
+            # table (already fully inside the header) must catch it.
+            blob = blob[: max(len(blob) * 2 // 3, 1)]
         tmp = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
         with open(tmp, "wb") as handle:
             handle.write(blob)
         os.replace(tmp, path)
+        self._spill_files[path] = len(blob)
+        self._spill_files.move_to_end(path)
         self._count("spills")
+        self._enforce_spill_bound(keep=path)
+
+    def _enforce_spill_bound(self, keep: Optional[str] = None) -> None:
+        """Delete least-recently-used spill files until the directory is
+        back under ``spill_max_bytes`` (the just-written ``keep`` blob
+        survives even when it alone exceeds the bound)."""
+        if self.spill_max_bytes is None:
+            return
+        total = sum(self._spill_files.values())
+        for path, size in list(self._spill_files.items()):
+            if total <= self.spill_max_bytes:
+                break
+            if path == keep:
+                continue
+            self._spill_files.pop(path, None)
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            total -= size
+            self._count("spill_evicted")
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a corrupt/mismatched spill blob aside (``*.corrupt``) so
+        it is rebuilt once instead of re-read and re-failed on every
+        subsequent miss, and count it."""
+        try:
+            os.replace(path, f"{path}.corrupt")
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        with self._lock:
+            self._spill_files.pop(path, None)
+        self._count("spill_corrupt")
 
     def _load_spilled(
         self, key: Tuple[str, str], signature: str
     ) -> Optional[CacheEntry]:
-        """Revive a spilled entry, or ``None``.  The revived query graph
-        went through the persist label round-trip, so its canonical
-        signature is re-derived and must match — a mismatch (labels that
-        don't survive ``repr``) falls back to a fresh build."""
+        """Revive a spilled entry, or ``None``.  A blob that fails its
+        block checksums, cannot be parsed, or whose revived query's
+        canonical signature does not match the key is *quarantined*
+        (renamed ``*.corrupt``), never silently retried.  The revived
+        query graph went through the persist label round-trip, so its
+        signature is re-derived and must match — a mismatch (labels
+        that don't survive ``repr``) falls back to a fresh build."""
         if self.spill_dir is None:
             return None
         path = self._spill_path(key)
         if not os.path.exists(path):
             return None
+        read_index = self._spill_reads
+        self._spill_reads += 1
         try:
             with open(path, "rb") as handle:
-                store = load_store_bytes(handle.read(), self.data)
-        except (OSError, ValueError):
+                raw = handle.read()
+        except OSError:
+            return None
+        if self.fault_plan is not None and self.fault_plan.spill_read_corrupt_at(
+            read_index
+        ):
+            # Injected read-side corruption: one byte flipped inside the
+            # array region (bit rot / torn sector on the read path).
+            flip = max(len(raw) - 9, 0)
+            raw = raw[:flip] + bytes([raw[flip] ^ 0x01]) + raw[flip + 1:]
+        try:
+            store = load_store_bytes(raw, self.data)
+        except ChecksumError as exc:
+            self._quarantine(path, f"checksum: {exc}")
+            return None
+        except Exception as exc:  # noqa: BLE001 - any parse failure
+            # (legacy un-checksummed blobs corrupt in ways numpy reports
+            # idiosyncratically) means the blob can never be served.
+            self._quarantine(path, f"unparseable: {exc!r}")
             return None
         revived_sig, revived_order = canonical_form(store.tree.query)
         if revived_sig != signature:
+            self._quarantine(path, "canonical signature mismatch")
             return None
+        with self._lock:
+            if path in self._spill_files:
+                self._spill_files.move_to_end(path)
         return CacheEntry(key, store, revived_order, 0.0)
 
     # ------------------------------------------------------------------
@@ -310,6 +415,8 @@ class IndexCache:
         """Counters + occupancy as one JSON-friendly dict."""
         with self._lock:
             entries = len(self._lru)
+            spill_files = len(self._spill_files)
+            spill_bytes = sum(self._spill_files.values())
         probes = self.hits + self.warm_hits + self.coalesced + self.misses
         served = self.hits + self.warm_hits + self.coalesced
         return {
@@ -319,6 +426,10 @@ class IndexCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "spills": self.spills,
+            "spill_corrupt": self.spill_corrupt,
+            "spill_evicted": self.spill_evicted,
+            "spill_files": spill_files,
+            "spill_bytes": spill_bytes,
             "entries": entries,
             "capacity": self.capacity,
             "hit_rate": round(served / probes, 6) if probes else 0.0,

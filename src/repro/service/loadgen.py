@@ -16,15 +16,22 @@ offered load (closed-loop generators hide queueing collapse).
 
 :func:`run_benchmark` is what ``repro bench-service`` and the CI smoke
 job call; its dict is written as ``BENCH_service.json``.
+:func:`run_chaos` is the seeded chaos harness behind ``repro
+bench-service --chaos``: it drives a *fault-injected* service against
+sequentially-computed ground truth and reports wrong results,
+availability, retry counts and pool health.
 """
 
 from __future__ import annotations
 
 import random
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
 from ..graph import Graph
+from ..resilience.faults import FaultPlan
+from ..resilience.recovery import RetryPolicy
 from .request import MatchRequest, Status
 from .service import MatchService, PendingMatch
 
@@ -33,6 +40,7 @@ __all__ = [
     "generate_workload",
     "percentile",
     "run_benchmark",
+    "run_chaos",
     "BENCH_SCHEMA",
 ]
 
@@ -248,3 +256,156 @@ def run_benchmark(
     if service.intersection_pool is not None:
         report["intersection_pool"] = service.intersection_pool.snapshot()
     return report
+
+
+def run_chaos(
+    data: Graph,
+    num_queries: int = 5,
+    requests: int = 40,
+    seed: int = 0,
+    workers: int = 2,
+    max_retries: int = 2,
+    crash_fraction: float = 0.15,
+    build_failure_fraction: float = 0.1,
+    spill_fault_fraction: float = 0.25,
+    stall_fraction: float = 0.0,
+    stall_seconds: float = 0.05,
+    deadline_seconds: Optional[float] = None,
+    index_capacity: int = 2,
+    spill_dir: Optional[str] = None,
+    min_vertices: int = 3,
+    max_vertices: int = 5,
+    max_embeddings: Optional[int] = 200,
+) -> Dict[str, object]:
+    """Seeded chaos run: a fault-injected service vs. sequential truth.
+
+    Builds a :meth:`~repro.resilience.faults.FaultPlan.service_chaos`
+    plan from ``seed`` (worker crashes mid-job, index-build failures,
+    torn spill writes, corrupted spill reads, optional scheduler
+    stalls), stands up a :class:`MatchService` with that plan, a retry
+    policy and a tiny index cache (so the spill tier is actually
+    exercised), and fires an open-loop schedule of ``requests``
+    requests at it.  Every response is judged against ground truth
+    computed by the *sequential* matcher up front:
+
+    * an ``OK`` response with the wrong embedding count is a **wrong
+      result** — the one number that must be zero no matter what faults
+      fire;
+    * non-``OK`` responses must carry an *accurate* failure status
+      (``crashed``/``failed``/``timeout``), and their fraction is the
+      availability loss, which the CLI gate bounds;
+    * after the run the worker pool must be back at full strength
+      (watchdog respawns verified) and every quarantined spill must be
+      counted in ``spill_corrupt``.
+
+    Returns a JSON-ready report; closing the service is handled here.
+    """
+    queries = generate_workload(
+        data,
+        num_queries,
+        seed=seed,
+        min_vertices=min_vertices,
+        max_vertices=max_vertices,
+        max_embeddings=max_embeddings,
+    )
+    from ..core.matcher import CECIMatcher
+
+    truth = [len(CECIMatcher(query, data).match()) for query in queries]
+    plan = FaultPlan.service_chaos(
+        seed=seed,
+        requests=requests,
+        crash_fraction=crash_fraction,
+        build_failure_fraction=build_failure_fraction,
+        spill_fault_fraction=spill_fault_fraction,
+        stall_fraction=stall_fraction,
+        stall_seconds=stall_seconds,
+    )
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        backoff_base_seconds=0.001,
+        backoff_max_seconds=0.05,
+    )
+    rng = random.Random(seed + 1)
+    schedule = [rng.randrange(len(queries)) for _ in range(requests)]
+    tmp = None
+    if spill_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="chaos-spill-")
+        spill_dir = tmp.name
+    statuses: Dict[str, int] = {status: 0 for status in Status.ALL}
+    wrong: List[Dict[str, int]] = []
+    retries_total = 0
+    try:
+        with MatchService(
+            data,
+            workers=workers,
+            max_pending=max(requests, 1),
+            index_capacity=index_capacity,
+            spill_dir=spill_dir,
+            deadline_seconds=deadline_seconds,
+            retry_policy=policy,
+            fault_plan=plan,
+        ) as service:
+            started = time.perf_counter()
+            pending: List[PendingMatch] = [
+                service.submit(MatchRequest(queries[index]))
+                for index in schedule
+            ]
+            for index, handle in zip(schedule, pending):
+                response = handle.result()
+                statuses[response.status] = (
+                    statuses.get(response.status, 0) + 1
+                )
+                retries_total += response.retries
+                if (
+                    response.status == Status.OK
+                    and response.count != truth[index]
+                ):
+                    wrong.append({
+                        "query": index,
+                        "expected": truth[index],
+                        "got": response.count,
+                    })
+            elapsed = time.perf_counter() - started
+            healthy = service.healthy_workers()
+            cache_snapshot = service.index_cache.snapshot()
+            metrics = service.metrics
+            report: Dict[str, object] = {
+                "schema": BENCH_SCHEMA,
+                "config": {
+                    "data_vertices": data.num_vertices,
+                    "data_edges": data.num_edges,
+                    "workers": workers,
+                    "num_queries": num_queries,
+                    "requests": requests,
+                    "seed": seed,
+                    "max_retries": max_retries,
+                    "crash_fraction": crash_fraction,
+                    "build_failure_fraction": build_failure_fraction,
+                    "spill_fault_fraction": spill_fault_fraction,
+                    "stall_fraction": stall_fraction,
+                    "deadline_seconds": deadline_seconds,
+                    "index_capacity": index_capacity,
+                },
+                "injected": {
+                    "worker_crashes": len(plan.service_worker_crash_picks),
+                    "build_failures": len(plan.build_failure_picks),
+                    "torn_spill_writes": len(plan.spill_torn_write_picks),
+                    "corrupt_spill_reads": len(plan.spill_read_corrupt_picks),
+                    "scheduler_stalls": len(plan.scheduler_stall_picks),
+                },
+                "statuses": statuses,
+                "wrong_results": wrong,
+                "availability": statuses[Status.OK] / requests
+                if requests
+                else 1.0,
+                "retries_total": retries_total,
+                "worker_respawns": metrics.get("service_worker_respawns"),
+                "healthy_workers": healthy,
+                "pool_full_strength": healthy == workers,
+                "elapsed_seconds": elapsed,
+                "index_cache": cache_snapshot,
+            }
+            return report
+    finally:
+        if tmp is not None:
+            tmp.cleanup()

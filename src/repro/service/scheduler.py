@@ -101,6 +101,14 @@ class FairTaskQueue(Generic[T]):
         with self._lock:
             return len(self._heap)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` was called — lets a worker polling
+        ``pop(timeout=...)`` tell shutdown (``None`` + closed) apart
+        from an idle interval (``None`` + open)."""
+        with self._lock:
+            return self._closed
+
     def push(self, vtime: float, item: T) -> None:
         """Enqueue one task at an explicit virtual time."""
         with self._ready:

@@ -12,15 +12,19 @@ Request lines::
      "embeddings": true, "id": 7}
 
 ``labels`` is optional (unlabeled queries), as are every knob and the
-``id`` echo.  Two control lines exist: ``{"cmd": "metrics"}`` prints the
-service's metrics/cache snapshot, ``{"cmd": "shutdown"}`` drains and
-stops the loop (end-of-input does the same).
+``id`` echo.  ``deadline_seconds`` is the enumeration *budget* deadline
+(a tripped budget returns a ``truncated`` prefix);
+``service_deadline_seconds`` is the end-to-end service deadline covering
+queue wait + index build + matching (an expired one returns ``timeout``
+with no embeddings).  Two control lines exist: ``{"cmd": "metrics"}``
+prints the service's metrics/cache snapshot, ``{"cmd": "shutdown"}``
+drains and stops the loop (end-of-input does the same).
 
 Response lines mirror :class:`~repro.service.request.MatchResponse`::
 
     {"id": 7, "status": "ok", "count": 2, "embeddings": [[0,1,2], ...],
      "cache": "hit", "truncated": false, "stop_reason": null,
-     "latency_seconds": ..., "service_seconds": ...}
+     "latency_seconds": ..., "service_seconds": ..., "retries": 0}
 
 A malformed line yields ``{"status": "failed", "error": ...}`` instead
 of killing the loop — a resident service must outlive bad input.
@@ -71,12 +75,14 @@ def request_from_json(line: Dict) -> MatchRequest:
     kwargs = {}
     if line.get("id") is not None:
         kwargs["request_id"] = int(line["id"])
+    deadline = line.get("service_deadline_seconds")
     return MatchRequest(
         query=query_from_json(line["query"]),
         limit=line.get("limit"),
         budget=_budget_from_json(line),
         break_automorphisms=bool(line.get("break_automorphisms", True)),
         kernel=line.get("kernel", "auto"),
+        deadline_seconds=float(deadline) if deadline is not None else None,
         **kwargs,
     )
 
@@ -94,6 +100,7 @@ def response_to_json(
         "cache": response.cache,
         "latency_seconds": response.latency_seconds,
         "service_seconds": response.service_seconds,
+        "retries": response.retries,
         "error": response.error,
     }
     if include_embeddings:

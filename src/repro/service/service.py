@@ -21,7 +21,27 @@ pool.  The pieces, and where each lives:
   the shared TE∩NTE intersection pool is only reached through
   per-request :meth:`~repro.kernels.cache.IntersectionCache.view`
   namespaces, so neither counters nor cached intersections can bleed
-  between requests.
+  between requests;
+* **supervision** — a watchdog thread patrols the pool: a worker thread
+  that *died* holding a request (real bug or injected crash) has its
+  in-flight task failed as a crash and its slot respawned, so the pool
+  never silently shrinks; a worker *wedged* past ``stall_after_seconds``
+  on one heartbeat is condemned (Python threads cannot be killed — the
+  condemned thread exits at its next loop boundary), its request is
+  failed with ``TIMEOUT``, and a replacement is spawned immediately;
+* **deadlines & cancellation** — each request may carry an end-to-end
+  ``deadline_seconds`` (service-wide default available) measured from
+  submit and covering queue wait + index resolution + matching.  It is
+  enforced cooperatively at the scheduler pop, after the index build,
+  and at every batch boundary; an expired request resolves ``TIMEOUT``
+  with no embeddings.  :meth:`PendingMatch.cancel` rides the same
+  boundaries with ``CANCELLED``;
+* **retry** — with a :class:`~repro.resilience.recovery.RetryPolicy`,
+  requests failed by a worker crash or an injected transient fault are
+  transparently re-run (fresh index resolution, fresh budget clock)
+  after an exponential-backoff-with-jitter delay, up to
+  ``max_retries`` times; the response's ``retries`` field and the
+  ``service_retries_total`` counter account for every re-run.
 
 **Exactness.**  A response's embedding list is bit-identical to a fresh
 ``CECIMatcher(query, data).run(limit)`` whenever the request's labeling
@@ -32,14 +52,18 @@ results back in pivot order — which *is* sequential ``collect`` order.
 For an isomorphic-but-relabeled hit the transplanted index yields the
 same embedding *set* (enumeration order may differ; symmetry breaking is
 applied with the request's own breaker, so the chosen representatives
-are the request's, not the cached labeling's).
+are the request's, not the cached labeling's).  Retries preserve this:
+a re-run starts from scratch, so a retried ``OK`` answer is exactly a
+first-attempt ``OK`` answer.
 """
 
 from __future__ import annotations
 
+import itertools
+import random
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..core.automorphism import SymmetryBreaker
 from ..core.enumeration import Embedding, Enumerator
@@ -51,16 +75,24 @@ from ..kernels import DEFAULT_CACHE_SIZE, IntersectionCache
 from ..observability.metrics import MetricSpec, MetricsRegistry
 from ..parallel.scheduling import dynamic_schedule
 from ..resilience.budget import BudgetExhausted, BudgetTracker
+from ..resilience.faults import FaultPlan, InjectedBuildError, InjectedCrash
+from ..resilience.recovery import RetryPolicy
 from .cache import IndexCache
 from .request import MatchRequest, MatchResponse, Status
 from .scheduler import FairTaskQueue
 
 __all__ = ["MatchService", "PendingMatch", "service_metric_specs"]
 
+#: How long a worker blocks on one ``pop`` before re-checking whether it
+#: has been condemned by the watchdog.  Bounds how quickly a condemned
+#: (but idle) thread notices and exits.
+_POP_INTERVAL = 0.1
+
 
 def service_metric_specs() -> Tuple[MetricSpec, ...]:
     """Spec table for the service's own registry (request outcomes,
-    cache tiers, queue pressure, latency histograms)."""
+    cache tiers, queue pressure, supervision events, latency
+    histograms)."""
     return (
         MetricSpec(
             "service_requests_total",
@@ -77,6 +109,20 @@ def service_metric_specs() -> Tuple[MetricSpec, ...]:
         MetricSpec(
             "service_units_total",
             help="Cluster work units executed by the pool.",
+        ),
+        MetricSpec(
+            "service_retries_total",
+            help="Transparent re-runs of requests failed by a worker "
+                 "crash or injected fault.",
+        ),
+        MetricSpec(
+            "service_worker_respawns",
+            help="Worker threads replaced by the watchdog (after a "
+                 "death or a condemned stall).",
+        ),
+        MetricSpec(
+            "service_worker_stalls",
+            help="Wedged workers condemned by the watchdog.",
         ),
         MetricSpec(
             "service_index_cache_hits",
@@ -101,6 +147,14 @@ def service_metric_specs() -> Tuple[MetricSpec, ...]:
         MetricSpec(
             "service_index_cache_spills",
             help="Evicted entries written to the spill tier.",
+        ),
+        MetricSpec(
+            "service_index_cache_spill_corrupt",
+            help="Corrupt spill blobs detected and quarantined.",
+        ),
+        MetricSpec(
+            "service_index_cache_spill_evicted",
+            help="Spill files deleted by the byte-bound LRU.",
         ),
         MetricSpec(
             "service_queue_depth_peak",
@@ -142,18 +196,27 @@ def service_metric_specs() -> Tuple[MetricSpec, ...]:
 class PendingMatch:
     """Handle for one submitted request — a one-shot future."""
 
-    __slots__ = ("request", "_event", "_response")
+    __slots__ = ("request", "_event", "_response", "_job")
 
     def __init__(self, request: MatchRequest) -> None:
         self.request = request
         self._event = threading.Event()
         self._response: Optional[MatchResponse] = None
+        self._job: Optional["_Job"] = None
 
     def done(self) -> bool:
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None) -> MatchResponse:
-        """Block until the response is ready."""
+        """Block until the response is ready.
+
+        Raises :class:`TimeoutError` if the response is not ready within
+        ``timeout`` seconds.  The timeout is a *wait* bound only: the
+        request keeps running and a later ``result()`` call can still
+        collect it.  To abandon the work too, call :meth:`cancel` (the
+        request then resolves ``CANCELLED`` at its next batch boundary),
+        or give the request a ``deadline_seconds`` up front.
+        """
         if not self._event.wait(timeout=timeout):
             raise TimeoutError(
                 f"request {self.request.request_id} still pending"
@@ -161,7 +224,29 @@ class PendingMatch:
         assert self._response is not None
         return self._response
 
+    def cancel(self) -> bool:
+        """Ask the service to abandon this request.
+
+        Cancellation is cooperative: workers observe the flag at the
+        next batch boundary (scheduler pop, post-build, per-unit), so a
+        unit already enumerating finishes that unit first.  Returns
+        ``True`` if the cancel was registered while the request was
+        still in flight; ``False`` if it had already resolved (or was
+        shed at admission and never ran).  A cancelled request resolves
+        with ``Status.CANCELLED`` and no embeddings.
+        """
+        job = self._job
+        if job is None:
+            return False
+        with job.lock:
+            if job.done:
+                return False
+            job.cancelled = True
+        return True
+
     def _resolve(self, response: MatchResponse) -> None:
+        if self._event.is_set():  # first resolution wins
+            return
         self._response = response
         self._event.set()
 
@@ -170,9 +255,10 @@ class _Job:
     """Mutable execution state of one admitted request."""
 
     __slots__ = (
-        "request", "pending", "submitted_at", "prepared_at", "symmetry",
-        "store", "cache_tag", "namespace", "tracker", "stats", "parts",
-        "remaining", "truncated", "stop_reason", "error", "lock",
+        "request", "pending", "submitted_at", "prepared_at", "deadline_at",
+        "symmetry", "store", "cache_tag", "namespace", "tracker", "stats",
+        "parts", "remaining", "truncated", "stop_reason", "error",
+        "error_kind", "retries", "cancelled", "done", "lock",
     )
 
     def __init__(
@@ -185,6 +271,7 @@ class _Job:
         self.pending = pending
         self.submitted_at = submitted_at
         self.prepared_at = submitted_at
+        self.deadline_at: Optional[float] = None
         self.symmetry: Optional[SymmetryBreaker] = None
         self.store: Optional[CompactCECI] = None
         self.cache_tag: Optional[str] = None
@@ -196,7 +283,29 @@ class _Job:
         self.truncated = False
         self.stop_reason: Optional[str] = None
         self.error: Optional[str] = None
+        #: How the current attempt failed: "crash" (worker death),
+        #: "fault" (injected transient), "error" (real exception).
+        #: Only "crash" and "fault" are retryable.
+        self.error_kind: Optional[str] = None
+        self.retries = 0
+        self.cancelled = False
+        #: First-wins finalization flag, written under ``lock``: the
+        #: watchdog, the deadline checks and the normal completion path
+        #: can all race to resolve one job.
+        self.done = False
         self.lock = threading.Lock()
+
+
+class _Beat:
+    """One worker's heartbeat: which task it holds and since when."""
+
+    __slots__ = ("slot", "job", "index", "started")
+
+    def __init__(self, slot: int, job: _Job, index: int, now: float) -> None:
+        self.slot = slot
+        self.job = job
+        self.index = index
+        self.started = now
 
 
 #: Task shapes on the worker channel: ``(job, -1, ())`` runs solo,
@@ -212,8 +321,17 @@ class MatchService:
     Engine knobs that shape the *index* (order strategy, filters,
     refinement, intersection mode) are fixed service-wide — that is the
     invariant making cross-query index reuse sound.  Per-request knobs
-    (limit, budget, kernel, symmetry) ride on each
+    (limit, budget, kernel, symmetry, deadline) ride on each
     :class:`~repro.service.request.MatchRequest`.
+
+    Hardening knobs: ``deadline_seconds`` is the service-wide default
+    end-to-end deadline (per-request ``deadline_seconds`` overrides);
+    ``retry_policy`` enables transparent re-runs of crash/fault-failed
+    requests; ``stall_after_seconds`` arms the watchdog's wedged-worker
+    detection (it must exceed the longest *legitimate* single unit, or
+    healthy slow work gets condemned); ``fault_plan`` injects
+    deterministic service-level faults for chaos testing;
+    ``spill_max_bytes`` byte-bounds the index cache's spill directory.
 
     Use as a context manager, or call :meth:`close` when done.
     """
@@ -230,17 +348,34 @@ class MatchService:
         use_refinement: bool = True,
         use_intersection: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        deadline_seconds: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        stall_after_seconds: Optional[float] = None,
+        watchdog_interval: float = 0.05,
+        fault_plan: Optional[FaultPlan] = None,
+        spill_max_bytes: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if stall_after_seconds is not None and stall_after_seconds <= 0:
+            raise ValueError("stall_after_seconds must be positive")
+        if watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be positive")
         self.data = data
         self.workers = workers
         self.max_pending = max_pending
         self.order_strategy = order_strategy
         self.use_refinement = use_refinement
         self.use_intersection = use_intersection
+        self.deadline_seconds = deadline_seconds
+        self.retry_policy = retry_policy
+        self.stall_after_seconds = stall_after_seconds
+        self.watchdog_interval = watchdog_interval
+        self.fault_plan = fault_plan
         self.metrics = (
             metrics
             if metrics is not None
@@ -252,7 +387,9 @@ class MatchService:
             data,
             capacity=index_capacity,
             spill_dir=spill_dir,
+            spill_max_bytes=spill_max_bytes,
             metrics=self.metrics,
+            fault_plan=fault_plan,
         )
         #: Shared TE∩NTE memo pool; reached only through per-request
         #: namespaced views (see repro.kernels.cache) so two queries can
@@ -267,21 +404,45 @@ class MatchService:
         self._inflight = 0
         self._peak = 0
         self._closed = False
+        self._stopping = False
+        self._close_done = threading.Event()
+        #: Every admitted, not-yet-finalized job (guarded by
+        #: ``_state_lock``) — what a timed-out ``close`` fails.
+        self._jobs: Set[_Job] = set()
+        #: Pending retry timers, per job (guarded by ``_state_lock``).
+        self._retry_timers: Dict[_Job, threading.Timer] = {}
+        #: Jitter source for retry backoff — seeded from the fault plan
+        #: so chaos runs are reproducible end to end.
+        self._retry_rng = random.Random(
+            fault_plan.seed if fault_plan is not None else 0
+        )
+        #: Monotone pick counters feeding the fault plan's predicates.
+        self._task_picks = itertools.count()
+        self._build_picks = itertools.count()
         self._inbox: "list" = []
         self._inbox_ready = threading.Condition()
         self._tasks: FairTaskQueue[_Task] = FairTaskQueue()
+        #: Worker supervision state (guarded by ``_pool_lock``):
+        #: ``_pool[slot]`` is the current thread of each slot,
+        #: ``_active`` maps a worker thread ident to its heartbeat,
+        #: ``_condemned`` holds idents told to exit at the next boundary.
+        self._pool_lock = threading.Lock()
+        self._pool: List[threading.Thread] = []
+        self._active: Dict[int, _Beat] = {}
+        self._condemned: Set[int] = set()
+        self._worker_seq = 0
         self._scheduler = threading.Thread(
             target=self._scheduler_loop, name="svc-scheduler", daemon=True
         )
-        self._pool = [
-            threading.Thread(
-                target=self._worker_loop, name=f"svc-worker-{w}", daemon=True
-            )
-            for w in range(workers)
-        ]
         self._scheduler.start()
-        for thread in self._pool:
-            thread.start()
+        with self._pool_lock:
+            for slot in range(workers):
+                self._spawn_worker(slot)
+        self._watchdog_stop = threading.Event()
+        self._watchdog = threading.Thread(
+            target=self._watchdog_loop, name="svc-watchdog", daemon=True
+        )
+        self._watchdog.start()
 
     # ------------------------------------------------------------------
     # Public API
@@ -310,8 +471,16 @@ class MatchService:
             if self._inflight > self._peak:
                 self._peak = self._inflight
                 self.metrics.set_gauge("service_queue_depth_peak", self._peak)
+            job = _Job(request, pending, now)
+            deadline = request.deadline_seconds
+            if deadline is None:
+                deadline = self.deadline_seconds
+            if deadline is not None:
+                job.deadline_at = now + deadline
+            pending._job = job
+            self._jobs.add(job)
         with self._inbox_ready:
-            self._inbox.append(_Job(request, pending, now))
+            self._inbox.append(job)
             self._inbox_ready.notify()
         return pending
 
@@ -332,20 +501,69 @@ class MatchService:
                 self._idle.wait(timeout=left)
         return True
 
-    def close(self) -> None:
-        """Drain in-flight work, then stop every thread (idempotent)."""
+    def close(self, timeout: Optional[float] = None) -> bool:
+        """Drain in-flight work, then stop every thread (idempotent).
+
+        With ``timeout=None`` this waits for all in-flight requests to
+        finish, exactly like the historical ``close()``.  With a
+        timeout, the whole shutdown is bounded: requests still in
+        flight when the drain window expires are resolved ``TIMEOUT``
+        (their waiters unblock), pending retries are cancelled, and
+        thread joins share the remaining window.  Returns ``True`` if
+        everything drained and every thread stopped within the bound;
+        ``False`` means some request was force-timed-out or a wedged
+        thread is still exiting (it will die with the process — all
+        service threads are daemons).  Concurrent and repeated calls
+        are safe: later callers wait (up to their own ``timeout``) for
+        the first closer to finish.
+        """
         with self._state_lock:
-            if self._closed:
-                return
+            first = not self._closed
             self._closed = True
-        self.drain()
+        if not first:
+            return self._close_done.wait(timeout=timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def left() -> Optional[float]:
+            if deadline is None:
+                return None
+            # Keep a small positive join window even when the budget is
+            # spent, so an already-exiting thread is still reaped.
+            return max(deadline - time.monotonic(), 0.05)
+
+        drained = self.drain(timeout)
+        self._stopping = True
+        with self._state_lock:
+            timers = list(self._retry_timers.values())
+            self._retry_timers.clear()
+        for timer in timers:
+            timer.cancel()
+        if not drained:
+            with self._state_lock:
+                leftovers = list(self._jobs)
+            for job in leftovers:
+                self._finalize(
+                    job, [], Status.TIMEOUT,
+                    error="request still in flight when close() timed out",
+                )
         with self._inbox_ready:
             self._inbox.append(_CLOSE)
             self._inbox_ready.notify()
-        self._scheduler.join()
+        self._watchdog_stop.set()
+        self._scheduler.join(left())
         self._tasks.close()
-        for thread in self._pool:
-            thread.join()
+        with self._pool_lock:
+            pool = list(self._pool)
+        for thread in pool:
+            thread.join(left())
+        self._watchdog.join(left())
+        stopped = (
+            not self._scheduler.is_alive()
+            and not self._watchdog.is_alive()
+            and not any(thread.is_alive() for thread in pool)
+        )
+        self._close_done.set()
+        return drained and stopped
 
     def __enter__(self) -> "MatchService":
         return self
@@ -353,20 +571,183 @@ class MatchService:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def healthy_workers(self) -> int:
+        """How many pool slots currently hold a live thread — the
+        chaos harness's pool-at-full-strength check."""
+        with self._pool_lock:
+            return sum(1 for thread in self._pool if thread.is_alive())
+
     def snapshot(self) -> Dict[str, object]:
         """Registry + cache tiers as one JSON-friendly dict."""
         out: Dict[str, object] = {
             "metrics": self.metrics.as_dict(),
             "index_cache": self.index_cache.snapshot(),
+            "healthy_workers": self.healthy_workers(),
         }
         if self.intersection_pool is not None:
             out["intersection_pool"] = self.intersection_pool.snapshot()
         return out
 
     # ------------------------------------------------------------------
+    # Watchdog thread: dead/wedged worker detection and respawn
+    # ------------------------------------------------------------------
+    def _spawn_worker(self, slot: int) -> None:
+        """Start a fresh thread in ``slot`` (callers hold _pool_lock)."""
+        self._worker_seq += 1
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(slot,),
+            name=f"svc-worker-{slot}.{self._worker_seq}",
+            daemon=True,
+        )
+        if slot == len(self._pool):
+            self._pool.append(thread)
+        else:
+            self._pool[slot] = thread
+        thread.start()
+
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.watchdog_interval):
+            self._patrol()
+
+    def _patrol(self) -> None:
+        """One supervision pass: respawn dead workers (recovering the
+        task each one died holding), condemn wedged ones."""
+        if self._stopping:
+            return
+        now = time.perf_counter()
+        crashed: List[_Beat] = []
+        stalled: List[_Beat] = []
+        with self._pool_lock:
+            for slot, thread in enumerate(self._pool):
+                ident = thread.ident
+                if ident is None:  # not started yet (spawn in progress)
+                    continue
+                if not thread.is_alive():
+                    beat = self._active.pop(ident, None)
+                    self._condemned.discard(ident)
+                    self._spawn_worker(slot)
+                    self.metrics.inc("service_worker_respawns")
+                    if beat is not None:
+                        crashed.append(beat)
+                    continue
+                if self.stall_after_seconds is None:
+                    continue
+                beat = self._active.get(ident)
+                if (
+                    beat is not None
+                    and now - beat.started > self.stall_after_seconds
+                ):
+                    # Python threads cannot be killed: condemn the ident
+                    # (the thread exits at its next loop boundary), drop
+                    # its heartbeat so it is not re-condemned, and bring
+                    # the pool back to strength immediately.
+                    self._condemned.add(ident)
+                    self._active.pop(ident, None)
+                    self._spawn_worker(slot)
+                    self.metrics.inc("service_worker_stalls")
+                    self.metrics.inc("service_worker_respawns")
+                    stalled.append(beat)
+        for beat in crashed:
+            self._fail_unit(
+                beat.job, beat.index,
+                f"worker died holding the request (slot {beat.slot})",
+                kind="crash",
+            )
+        for beat in stalled:
+            self._finalize(
+                beat.job, [], Status.TIMEOUT,
+                error=(
+                    f"request stalled past {self.stall_after_seconds}s "
+                    f"on a worker; the worker was condemned and replaced"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Deadlines, cancellation, retry
+    # ------------------------------------------------------------------
+    def _abort_status(self, job: _Job) -> Optional[str]:
+        """CANCELLED/TIMEOUT if the job must be abandoned, else None —
+        evaluated at every cooperative boundary."""
+        if job.cancelled:
+            return Status.CANCELLED
+        if (
+            job.deadline_at is not None
+            and time.perf_counter() >= job.deadline_at
+        ):
+            return Status.TIMEOUT
+        return None
+
+    @staticmethod
+    def _abort_error(status: str) -> str:
+        if status == Status.TIMEOUT:
+            return "end-to-end service deadline exceeded"
+        return "cancelled by caller"
+
+    def _conclude_failure(self, job: _Job) -> None:
+        """The current attempt failed: schedule a retry if the policy,
+        the failure kind and the deadline all allow, else finalize."""
+        kind = job.error_kind or "error"
+        policy = self.retry_policy
+        if (
+            policy is not None
+            and kind in ("crash", "fault")
+            and not self._stopping
+            and self._abort_status(job) is None
+            and policy.allows(job.retries + 1)
+        ):
+            job.retries += 1
+            self.metrics.inc("service_retries_total")
+            delay = policy.delay(job.retries, self._retry_rng)
+            if delay <= 0.0:
+                self._requeue(job)
+            else:
+                timer = threading.Timer(delay, self._requeue, args=(job,))
+                timer.daemon = True
+                with self._state_lock:
+                    self._retry_timers[job] = timer
+                timer.start()
+            return
+        status = Status.CRASHED if kind == "crash" else Status.FAILED
+        self._finalize(job, [], status, error=job.error)
+
+    def _requeue(self, job: _Job) -> None:
+        """Put a retrying job back through the scheduler with per-attempt
+        state wiped (fresh index resolution, fresh budget clock)."""
+        with self._state_lock:
+            self._retry_timers.pop(job, None)
+            stopping = self._stopping
+        with job.lock:
+            if job.done:
+                return
+        if stopping:
+            self._finalize(
+                job, [], Status.TIMEOUT,
+                error="service closed before the retry could run",
+            )
+            return
+        with job.lock:
+            job.store = None
+            job.cache_tag = None
+            job.namespace = None
+            job.tracker = None
+            job.symmetry = None
+            job.stats = MatchStats()
+            job.parts = []
+            job.remaining = 0
+            job.truncated = False
+            job.stop_reason = None
+            job.error = None
+            job.error_kind = None
+        with self._inbox_ready:
+            self._inbox.append(job)
+            self._inbox_ready.notify()
+
+    # ------------------------------------------------------------------
     # Scheduler thread: admit -> resolve index -> plan tasks
     # ------------------------------------------------------------------
     def _scheduler_loop(self) -> None:
+        admitted = 0
         while True:
             with self._inbox_ready:
                 while not self._inbox:
@@ -375,19 +756,47 @@ class MatchService:
             if item is _CLOSE:
                 return
             job: _Job = item
-            try:
-                self._prepare(job)
-            except BudgetExhausted as stop:
-                job.stats.budget_stops += 1
+            if job.done:  # force-finalized (timed-out close) meanwhile
+                continue
+            seq = admitted
+            admitted += 1
+            plan = self.fault_plan
+            if plan is not None and plan.scheduler_stalls_at(seq):
+                self._cooperative_stall(plan.scheduler_stall_seconds)
+            status = self._abort_status(job)
+            if status is None:
+                try:
+                    self._prepare(job)
+                except BudgetExhausted as stop:
+                    job.stats.budget_stops += 1
+                    self._finalize(
+                        job, [], Status.TRUNCATED, stop_reason=stop.reason
+                    )
+                    continue
+                except (InjectedBuildError, InjectedCrash) as exc:
+                    self._fail_unit(job, -1, repr(exc), kind="fault")
+                    continue
+                except Exception as exc:  # noqa: BLE001 - one bad request
+                    # must not take the scheduler (and service) down
+                    self._fail_unit(job, -1, repr(exc), kind="error")
+                    continue
+                status = self._abort_status(job)
+            if status is not None:
                 self._finalize(
-                    job, [], Status.TRUNCATED, stop_reason=stop.reason
+                    job, [], status, error=self._abort_error(status)
                 )
                 continue
-            except Exception as exc:  # noqa: BLE001 - one bad request
-                # must not take the scheduler (and service) down with it
-                self._finalize(job, [], Status.FAILED, error=repr(exc))
-                continue
             self._plan(job)
+
+    def _cooperative_stall(self, seconds: float) -> None:
+        """Injected scheduler stall — sleeps in small slices so a
+        closing service is never held hostage by its own chaos plan."""
+        deadline = time.perf_counter() + seconds
+        while not self._stopping:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                return
+            time.sleep(min(remaining, 0.01))
 
     def _prepare(self, job: _Job) -> None:
         """Resolve the request's index (cache tiers, then build), start
@@ -403,6 +812,12 @@ class MatchService:
         build_stats: List[MatchStats] = []
 
         def build() -> CompactCECI:
+            build_index = next(self._build_picks)
+            if (
+                self.fault_plan is not None
+                and self.fault_plan.build_fails_at(build_index)
+            ):
+                raise InjectedBuildError(build_index)
             matcher = self._fresh_matcher(request.query)
             store = matcher.build()
             build_stats.append(matcher.stats)
@@ -463,45 +878,94 @@ class MatchService:
     def _plan(self, job: _Job) -> None:
         """Enqueue the job's tasks: solo for budgeted/limited requests,
         one fair-interleaved task per embedding cluster otherwise."""
-        if job.request.solo:
-            self._tasks.push_solo((job, -1, ()))
+        if job.done:
             return
-        store = job.store
-        assert store is not None
-        pivots = [int(p) for p in store.pivots]
-        if not pivots:
-            self._finalize(job, [], Status.OK)
+        try:
+            if job.request.solo:
+                self._tasks.push_solo((job, -1, ()))
+                return
+            store = job.store
+            assert store is not None
+            pivots = [int(p) for p in store.pivots]
+            if not pivots:
+                self._finalize(job, [], Status.OK)
+                return
+            workloads = [
+                max(float(store.cluster_cardinality(p)), 1.0) for p in pivots
+            ]
+            plan = dynamic_schedule(
+                sorted(workloads, reverse=True), self.workers
+            )
+            self.metrics.set_gauge("service_plan_makespan", plan.makespan)
+            self.metrics.set_gauge("service_plan_skew", plan.skew)
+            job.parts = [None] * len(pivots)
+            job.remaining = len(pivots)
+            tasks: List[_Task] = [
+                (job, i, (pivot,)) for i, pivot in enumerate(pivots)
+            ]
+            self._tasks.push_job(tasks, workloads)
+        except RuntimeError:
+            # The queue closed mid-push (timed-out close): the close
+            # path has already force-finalized every leftover job.
             return
-        workloads = [
-            max(float(store.cluster_cardinality(p)), 1.0) for p in pivots
-        ]
-        plan = dynamic_schedule(sorted(workloads, reverse=True), self.workers)
-        self.metrics.set_gauge("service_plan_makespan", plan.makespan)
-        self.metrics.set_gauge("service_plan_skew", plan.skew)
-        job.parts = [None] * len(pivots)
-        job.remaining = len(pivots)
-        tasks: List[_Task] = [
-            (job, i, (pivot,)) for i, pivot in enumerate(pivots)
-        ]
-        self._tasks.push_job(tasks, workloads)
 
     # ------------------------------------------------------------------
     # Worker threads
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, slot: int) -> None:
+        ident = threading.get_ident()
         while True:
-            task = self._tasks.pop()
+            with self._pool_lock:
+                if ident in self._condemned:
+                    self._condemned.discard(ident)
+                    self._active.pop(ident, None)
+                    return
+            task = self._tasks.pop(timeout=_POP_INTERVAL)
             if task is None:
-                return
+                if self._tasks.closed:
+                    return
+                continue
             job, index, prefix = task
+            pick = next(self._task_picks)
+            with self._pool_lock:
+                self._active[ident] = _Beat(
+                    slot, job, index, time.perf_counter()
+                )
             try:
-                if index < 0:
+                if (
+                    self.fault_plan is not None
+                    and self.fault_plan.service_worker_crashes_at(pick)
+                ):
+                    raise InjectedCrash("service-worker", slot)
+                status = self._abort_status(job)
+                if status is not None or job.done:
+                    self._skip_task(job, index, status)
+                elif index < 0:
                     self._run_solo(job)
                 else:
                     self._run_unit(job, index, prefix)
+            except InjectedCrash:
+                # Simulated thread death: exit without any cleanup (a
+                # really-dead thread cleans up nothing), leaving the
+                # heartbeat registered so the watchdog recovers the
+                # in-flight task and respawns the slot.
+                return
             except Exception as exc:  # noqa: BLE001 - fail the request,
                 # not the worker: the pool must survive any one query
                 self._fail_unit(job, index, repr(exc))
+            with self._pool_lock:
+                self._active.pop(ident, None)
+
+    def _skip_task(
+        self, job: _Job, index: int, status: Optional[str]
+    ) -> None:
+        """Cooperative abandon at a batch boundary: resolve the abort
+        status (first-wins) and keep unit bookkeeping consistent."""
+        if status is not None:
+            self._finalize(job, [], status, error=self._abort_error(status))
+        if index >= 0:
+            with job.lock:
+                job.remaining -= 1
 
     def _enumerator(self, job: _Job, stats: MatchStats) -> Enumerator:
         cache = None
@@ -548,6 +1012,9 @@ class MatchService:
         unit_stats.add_phase("enumerate", time.perf_counter() - started)
         self.metrics.inc("service_units_total")
         with job.lock:
+            if job.done:  # finalized (deadline/cancel/stall) meanwhile
+                job.remaining -= 1
+                return
             job.parts[index] = result
             job.stats.merge(unit_stats)
             job.remaining -= 1
@@ -560,18 +1027,26 @@ class MatchService:
                     embeddings.extend(part)
             self._finalize(job, embeddings, Status.OK)
         elif failed:
-            self._finalize(job, [], Status.FAILED, error=job.error)
+            self._conclude_failure(job)
 
-    def _fail_unit(self, job: _Job, index: int, error: str) -> None:
-        if index < 0:
-            self._finalize(job, [], Status.FAILED, error=error)
-            return
+    def _fail_unit(
+        self, job: _Job, index: int, error: str, kind: str = "error"
+    ) -> None:
         with job.lock:
-            job.error = error
-            job.remaining -= 1
-            last = job.remaining == 0
+            if job.done:
+                if index >= 0:
+                    job.remaining -= 1
+                return
+            if job.error is None:
+                job.error = error
+                job.error_kind = kind
+            if index >= 0:
+                job.remaining -= 1
+                last = job.remaining <= 0
+            else:
+                last = True
         if last:
-            self._finalize(job, [], Status.FAILED, error=job.error)
+            self._conclude_failure(job)
 
     # ------------------------------------------------------------------
     def _finalize(
@@ -582,6 +1057,10 @@ class MatchService:
         stop_reason: Optional[str] = None,
         error: Optional[str] = None,
     ) -> None:
+        with job.lock:
+            if job.done:  # first resolution wins
+                return
+            job.done = True
         now = time.perf_counter()
         latency = now - job.submitted_at
         service_seconds = now - job.prepared_at
@@ -598,9 +1077,11 @@ class MatchService:
             stats=job.stats,
             latency_seconds=latency,
             service_seconds=service_seconds,
+            retries=job.retries,
             error=error,
         ))
         with self._idle:
+            self._jobs.discard(job)
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.notify_all()

@@ -1,5 +1,7 @@
 """Tests for CECI index persistence (legacy dict blobs + compact v3)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -14,6 +16,7 @@ from repro.core import (
     load_store_bytes,
     save_ceci,
 )
+from repro.core.persist import ChecksumError
 from repro.graph import inject_labels, power_law
 
 
@@ -139,6 +142,14 @@ class TestCompactFormat:
         got = sorted(Enumerator(loaded, symmetry=matcher.symmetry).collect())
         assert got == reference
 
+    def test_checksums_survive_the_mmap_round_trip(self, instance, tmp_path):
+        query, data = instance
+        store = CECIMatcher(query, data).build()
+        path = str(tmp_path / "index.ceci")
+        save_ceci(store, path)
+        loaded = load_ceci(path, data, mmap=True)
+        assert loaded.checksum_verified is True
+
     def test_te_only_cpi_shape_round_trips(self, instance, tmp_path):
         # CPI-style index: TE candidates only, nte_built=False.
         from repro.baselines.cflmatch import CFLMatcher
@@ -158,3 +169,106 @@ class TestCompactFormat:
             assert loaded.nte[u] == {}
             assert np.array_equal(loaded.te[u][0], cpi.te[u][0])
             assert np.array_equal(loaded.te[u][2], cpi.te[u][2])
+
+
+# ----------------------------------------------------------------------
+# Block checksums (CECIIDX3 minor version 3.1)
+# ----------------------------------------------------------------------
+
+def _split_v3(blob: bytes):
+    """(header dict, offset of the first array block) of a v3 blob."""
+    assert blob[:8] == b"CECIIDX3"
+    size = int.from_bytes(blob[8:16], "little")
+    header = json.loads(blob[16:16 + size].decode("utf-8"))
+    return header, 16 + size
+
+
+def _strip_checksums(blob: bytes) -> bytes:
+    """Rewrite a v3 blob as a pre-3.1 file: same array blocks, header
+    without the checksum table."""
+    header, body_at = _split_v3(blob)
+    for key in ("checksum", "block_bytes", "block_crc32"):
+        header.pop(key, None)
+    payload = json.dumps(header).encode("utf-8")
+    return (
+        blob[:8]
+        + len(payload).to_bytes(8, "little")
+        + payload
+        + blob[body_at:]
+    )
+
+
+def _flip(blob: bytes, pos: int) -> bytes:
+    return blob[:pos] + bytes([blob[pos] ^ 0xFF]) + blob[pos + 1:]
+
+
+class TestChecksums:
+    @pytest.fixture(scope="class")
+    def blob(self, instance):
+        query, data = instance
+        store = CECIMatcher(query, data).build()
+        assert isinstance(store, CompactCECI)
+        return dump_store_bytes(store)
+
+    def test_header_carries_a_complete_crc_table(self, blob):
+        header, body_at = _split_v3(blob)
+        assert header["checksum"] == "crc32"
+        assert len(header["block_bytes"]) == len(header["block_crc32"])
+        # The recorded lengths tile the payload exactly: every byte of
+        # every block is covered by some CRC.
+        assert sum(header["block_bytes"]) == len(blob) - body_at
+
+    def test_round_trip_marks_checksum_verified(self, blob, instance):
+        _, data = instance
+        loaded = load_store_bytes(blob, data)
+        assert loaded.checksum_verified is True
+
+    def test_any_payload_bit_flip_is_detected(self, blob, instance):
+        """Sweep corruptions across the whole array payload — npy
+        headers and data alike — and every one must surface as a
+        ChecksumError, never as garbage candidates or a numpy parse
+        crash."""
+        _, data = instance
+        _, body_at = _split_v3(blob)
+        positions = list(range(body_at, len(blob), 131)) + [len(blob) - 1]
+        assert positions
+        for pos in positions:
+            with pytest.raises(ChecksumError):
+                load_store_bytes(_flip(blob, pos), data)
+
+    def test_truncated_blob_is_detected(self, blob, instance):
+        _, data = instance
+        with pytest.raises(ChecksumError):
+            load_store_bytes(blob[:-7], data)
+
+    def test_corrupt_file_is_never_memmapped(self, instance, tmp_path):
+        query, data = instance
+        store = CECIMatcher(query, data).build()
+        path = tmp_path / "index.ceci"
+        save_ceci(store, str(path))
+        raw = path.read_bytes()
+        _, body_at = _split_v3(raw)
+        path.write_bytes(_flip(raw, (body_at + len(raw)) // 2))
+        with pytest.raises(ChecksumError):
+            load_ceci(str(path), data, mmap=True)
+
+    def test_legacy_no_checksum_blob_still_loads(self, blob, instance):
+        query, data = instance
+        legacy = _strip_checksums(blob)
+        loaded = load_store_bytes(legacy, data)
+        assert isinstance(loaded, CompactCECI)
+        assert loaded.checksum_verified is False
+        reference = load_store_bytes(blob, data)
+        assert np.array_equal(loaded.pivots, reference.pivots)
+        for u in query.vertices():
+            assert np.array_equal(loaded.te[u][2], reference.te[u][2])
+
+    def test_verify_false_skips_the_check(self, blob, instance):
+        """Opt-out path: with ``verify=False`` a data-region flip loads
+        (the caller accepted the risk) and the store says so."""
+        _, data = instance
+        corrupted = _flip(blob, len(blob) - 5)  # inside the last block's
+        # data region, clear of any npy header
+        loaded = load_store_bytes(corrupted, data, verify=False)
+        assert isinstance(loaded, CompactCECI)
+        assert loaded.checksum_verified is False

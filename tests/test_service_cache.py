@@ -259,6 +259,74 @@ def test_index_cache_rejects_bad_capacity():
         IndexCache(data, capacity=0)
 
 
+def _wedge_vertices(data: Graph) -> List[int]:
+    """Three vertices inducing a path (a wedge) — non-isomorphic to both
+    the triangle and the single edge used by the other spill tests."""
+    for u in data.vertices():
+        neighbors = sorted(data.neighbors(u))
+        for i, a in enumerate(neighbors):
+            for b in neighbors[i + 1:]:
+                if not data.has_edge(a, b):
+                    return sorted([a, u, b])
+    raise AssertionError("generator produced no induced wedge")
+
+
+def test_corrupt_spill_file_quarantined_then_rebuilt(tmp_path):
+    """Real on-disk rot: a byte of the spilled CECIIDX3 blob flips while
+    it sits in the spill dir.  Revival must detect it via the block
+    checksums, rename the blob ``*.corrupt`` and fall back to a fresh
+    build — never serve the rotten arrays."""
+    query, data = _instance()
+    other = data.subgraph(sorted(data.neighbors(0))[:1] + [0])
+    cache = IndexCache(data, capacity=1, spill_dir=str(tmp_path))
+    entry, _, order = cache.get_or_build(query, _builder(query, data))
+    reference = _embeddings_from(entry.store, query)
+    cache.get_or_build(other, _builder(other, data))  # spills the triangle
+    spilled = list(tmp_path.glob("*.ceci"))
+    assert len(spilled) == 1
+    raw = spilled[0].read_bytes()
+    pos = len(raw) - 5  # inside the last array block
+    spilled[0].write_bytes(raw[:pos] + bytes([raw[pos] ^ 0x40]) + raw[pos + 1:])
+    revived, tag, order2 = cache.get_or_build(query, _builder(query, data))
+    assert tag == "miss"  # quarantined, not warm-revived
+    snap = cache.snapshot()
+    assert snap["spill_corrupt"] == 1
+    assert len(list(tmp_path.glob("*.corrupt"))) == 1
+    store = cache.adapt(revived, query, order2)
+    assert store is not None
+    assert _embeddings_from(store, query) == reference
+
+
+def test_spill_dir_byte_bound_evicts_oldest(tmp_path):
+    """``spill_max_bytes`` keeps the spill dir bounded: when a new spill
+    pushes the directory over the bound, least-recently-used blobs are
+    deleted (the just-written blob always survives)."""
+    query, data = _instance()
+    edge = data.subgraph(sorted(data.neighbors(0))[:1] + [0])
+    wedge = data.subgraph(_wedge_vertices(data))
+    cache = IndexCache(
+        data, capacity=1, spill_dir=str(tmp_path), spill_max_bytes=1
+    )
+    cache.get_or_build(query, _builder(query, data))
+    cache.get_or_build(edge, _builder(edge, data))  # spills the triangle
+    first_spill = list(tmp_path.glob("*.ceci"))
+    assert len(first_spill) == 1
+    cache.get_or_build(wedge, _builder(wedge, data))  # spills the edge
+    snap = cache.snapshot()
+    assert snap["spill_evicted"] == 1
+    assert snap["spill_files"] == 1  # the triangle blob was deleted
+    assert not first_spill[0].exists()
+    # The deleted blob is gone for good: the triangle now rebuilds cold.
+    _, tag, _ = cache.get_or_build(query, _builder(query, data))
+    assert tag == "miss"
+
+
+def test_spill_bound_rejects_nonpositive():
+    _, data = _instance()
+    with pytest.raises(ValueError):
+        IndexCache(data, capacity=1, spill_max_bytes=0)
+
+
 # ----------------------------------------------------------------------
 # Transplanting onto relabeled isomorphic queries
 # ----------------------------------------------------------------------

@@ -1,0 +1,356 @@
+"""Seeded chaos tests for the hardened service tier.
+
+Each test injects one deterministic fault class through
+``MatchService(fault_plan=...)`` and pins the exact recovery contract:
+
+* a worker crash mid-job is recovered by the retry policy (answer still
+  exact, pool respawned to full strength) or, with no policy, surfaces
+  as an honest ``CRASHED`` response;
+* an injected index-build failure is a transient fault the retry policy
+  absorbs;
+* a corrupted spill blob is quarantined and the index rebuilt — never
+  served;
+* an injected scheduler stall trips the end-to-end deadline with
+  ``TIMEOUT``;
+* a wedged worker is condemned by the watchdog, its request is failed
+  ``TIMEOUT``, and a replacement thread restores the pool.
+
+The ``@pytest.mark.slow`` suite at the bottom runs the full
+:func:`~repro.service.loadgen.run_chaos` harness (all fault classes at
+once) and gates on the acceptance bar: zero wrong results, accurate
+failure statuses, full-strength pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.matcher import CECIMatcher
+from repro.graph import Graph, inject_labels
+from repro.graph.generators import power_law
+from repro.resilience.faults import FaultPlan
+from repro.resilience.recovery import RetryPolicy
+from repro.service import (
+    MatchRequest,
+    MatchService,
+    Status,
+    generate_workload,
+    run_chaos,
+)
+
+#: Immediate retries keep the fast tier fast; backoff is covered by the
+#: RetryPolicy unit tests and the slow harness.
+RETRY = RetryPolicy(max_retries=2)
+
+
+def _workload(
+    queries: int = 2, seed: int = 5, vertices: int = 150
+) -> Tuple[Graph, List[Graph], List[int]]:
+    data = inject_labels(power_law(vertices, 3, seed=seed), 3, seed=seed)
+    pool = generate_workload(
+        data, queries, seed=seed, min_vertices=3, max_vertices=5,
+        max_embeddings=500,
+    )
+    counts = [
+        CECIMatcher(q, data, break_automorphisms=False).count() for q in pool
+    ]
+    return data, pool, counts
+
+
+# ----------------------------------------------------------------------
+# Worker crashes
+# ----------------------------------------------------------------------
+
+def test_worker_crash_recovered_by_retry():
+    """The first task pick kills its worker mid-job: the watchdog
+    respawns the slot, the retry re-runs the request, and the answer is
+    still exact."""
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, service_worker_crash_picks=frozenset({0}))
+    with MatchService(
+        data, workers=2, fault_plan=plan, retry_policy=RETRY
+    ) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.ok, response.error
+        assert response.count == counts[0]
+        assert response.retries >= 1
+        # The watchdog noticed the death and restored the pool.
+        assert service.healthy_workers() == 2
+        assert service.metrics.get("service_worker_respawns") >= 1
+        assert service.metrics.get("service_retries_total") >= 1
+
+
+def test_worker_crash_without_retry_is_crashed():
+    data, queries, _ = _workload()
+    plan = FaultPlan(seed=1, service_worker_crash_picks=frozenset({0}))
+    with MatchService(data, workers=2, fault_plan=plan) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.status == Status.CRASHED
+        assert response.embeddings == []
+        assert "worker died" in (response.error or "")
+        assert service.healthy_workers() == 2  # pool still respawned
+
+
+def test_crash_retries_exhausted_resolves_crashed():
+    """Every attempt crashes: the policy runs out and the caller gets
+    an honest CRASHED, not a hang."""
+    data, queries, _ = _workload()
+    plan = FaultPlan(
+        seed=1, service_worker_crash_picks=frozenset(range(4096))
+    )
+    with MatchService(
+        data, workers=2, fault_plan=plan, retry_policy=RETRY
+    ) as service:
+        # A limit makes the request solo: one task pick per attempt, so
+        # three attempts -> three crashes, all injected.
+        response = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, limit=10_000,
+        ))
+        assert response.status == Status.CRASHED
+        assert response.retries == RETRY.max_retries
+        assert service.healthy_workers() == 2
+
+
+# ----------------------------------------------------------------------
+# Build failures
+# ----------------------------------------------------------------------
+
+def test_build_failure_retried_transparently():
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, build_failure_picks=frozenset({0}))
+    with MatchService(
+        data, workers=2, fault_plan=plan, retry_policy=RETRY
+    ) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.ok, response.error
+        assert response.count == counts[0]
+        assert response.retries == 1
+
+
+def test_build_failure_without_retry_is_failed():
+    data, queries, _ = _workload()
+    plan = FaultPlan(seed=1, build_failure_picks=frozenset({0}))
+    with MatchService(data, workers=2, fault_plan=plan) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.status == Status.FAILED
+        assert "InjectedBuildError" in (response.error or "")
+
+
+# ----------------------------------------------------------------------
+# Spill corruption
+# ----------------------------------------------------------------------
+
+def test_corrupt_spill_quarantined_and_rebuilt(tmp_path):
+    """A spilled index whose bytes rot is detected on revival, moved to
+    ``*.corrupt`` and rebuilt from scratch — the answer stays exact and
+    ``spill_corrupt`` counts the event."""
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, spill_read_corrupt_picks=frozenset({0}))
+    with MatchService(
+        data,
+        workers=2,
+        index_capacity=1,
+        spill_dir=str(tmp_path),
+        fault_plan=plan,
+    ) as service:
+        first = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert first.ok and first.count == counts[0]
+        # Evict the first index into the spill tier...
+        assert service.match(
+            MatchRequest(queries[1], break_automorphisms=False)
+        ).ok
+        # ...and revive it through the injected read corruption.
+        again = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert again.ok, again.error
+        assert again.count == counts[0]
+        assert again.cache == "miss"  # rebuilt, not served from rot
+        snap = service.index_cache.snapshot()
+        assert snap["spill_corrupt"] == 1
+    quarantined = list(tmp_path.glob("*.corrupt"))
+    assert len(quarantined) == 1
+
+
+def test_torn_spill_write_never_serves_garbage(tmp_path):
+    """A torn (short) spill write is caught by the checksum layer on
+    revival; the request is answered from a fresh build."""
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, spill_torn_write_picks=frozenset({0}))
+    with MatchService(
+        data,
+        workers=2,
+        index_capacity=1,
+        spill_dir=str(tmp_path),
+        fault_plan=plan,
+    ) as service:
+        assert service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        ).ok
+        assert service.match(
+            MatchRequest(queries[1], break_automorphisms=False)
+        ).ok
+        again = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert again.ok and again.count == counts[0]
+        assert service.index_cache.snapshot()["spill_corrupt"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Deadlines vs. an injected scheduler stall
+# ----------------------------------------------------------------------
+
+def test_scheduler_stall_trips_request_deadline():
+    data, queries, _ = _workload()
+    plan = FaultPlan(
+        seed=1,
+        scheduler_stall_picks=frozenset({0}),
+        scheduler_stall_seconds=0.5,
+    )
+    with MatchService(data, workers=2, fault_plan=plan) as service:
+        started = time.perf_counter()
+        response = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, deadline_seconds=0.05,
+        ))
+        elapsed = time.perf_counter() - started
+        assert response.status == Status.TIMEOUT
+        assert response.embeddings == []
+        assert "deadline" in (response.error or "")
+        # The stall itself still ran on the scheduler thread, but the
+        # response never waited past it.
+        assert elapsed < 5.0
+
+
+def test_service_wide_default_deadline_applies():
+    data, queries, _ = _workload()
+    plan = FaultPlan(
+        seed=1,
+        scheduler_stall_picks=frozenset({0}),
+        scheduler_stall_seconds=0.5,
+    )
+    with MatchService(
+        data, workers=2, fault_plan=plan, deadline_seconds=0.05
+    ) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.status == Status.TIMEOUT
+
+
+# ----------------------------------------------------------------------
+# Wedged-worker condemnation
+# ----------------------------------------------------------------------
+
+def test_watchdog_condemns_wedged_worker():
+    """A worker stuck inside enumeration past ``stall_after_seconds``:
+    the watchdog fails the request with TIMEOUT, condemns the thread and
+    restores the pool without waiting for the wedge to clear."""
+    data, queries, _ = _workload()
+    gate = threading.Event()
+    entered = threading.Event()
+
+    class _Wedged:
+        truncated = False
+        stop_reason = None
+
+        def collect(self, limit=None):
+            entered.set()
+            gate.wait(timeout=60)
+            return []
+
+        def collect_from_unit(self, prefix):
+            entered.set()
+            gate.wait(timeout=60)
+            return []
+
+    service = MatchService(
+        data, workers=2, stall_after_seconds=0.2, watchdog_interval=0.02
+    )
+    try:
+        service._enumerator = lambda job, stats: _Wedged()
+        response = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, limit=10,
+        ))
+        assert entered.is_set()
+        assert response.status == Status.TIMEOUT
+        assert "stalled" in (response.error or "")
+        assert service.metrics.get("service_worker_stalls") == 1
+        # Replacement spawned while the wedged thread is still stuck.
+        assert service.healthy_workers() == 2
+    finally:
+        gate.set()
+        assert service.close(timeout=30)
+
+
+# ----------------------------------------------------------------------
+# The full seeded suite (the CI chaos job runs this)
+# ----------------------------------------------------------------------
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 7, 23])
+def test_seeded_chaos_suite_zero_wrong_results(seed):
+    """All fault classes at once, three seeds: no completed request may
+    ever disagree with the sequential matcher, failures must carry
+    honest statuses, and the pool must end at full strength."""
+    data = inject_labels(power_law(300, 3, seed=2), 4, seed=2)
+    report = run_chaos(
+        data,
+        num_queries=4,
+        requests=32,
+        seed=seed,
+        workers=3,
+        max_retries=2,
+        crash_fraction=0.15,
+        build_failure_fraction=0.1,
+        spill_fault_fraction=0.25,
+    )
+    assert report["wrong_results"] == []
+    assert report["pool_full_strength"], report["healthy_workers"]
+    statuses = report["statuses"]
+    total = sum(statuses.values())
+    assert total == 32
+    # Injected faults may exhaust retries, but only into the honest
+    # failure statuses — never into silent wrongness.
+    assert statuses[Status.OK] + statuses[Status.CRASHED] + \
+        statuses[Status.FAILED] + statuses[Status.TIMEOUT] == total
+    assert report["availability"] >= 0.6
+    # Retries really ran (the plans above always inject something).
+    assert report["retries_total"] >= 1
+
+
+@pytest.mark.slow
+def test_chaos_with_stalls_and_deadline():
+    """Scheduler stalls + a tight service deadline: stalled requests
+    resolve TIMEOUT instead of hanging, everything else stays exact."""
+    data = inject_labels(power_law(300, 3, seed=2), 4, seed=2)
+    report = run_chaos(
+        data,
+        num_queries=3,
+        requests=20,
+        seed=11,
+        workers=2,
+        crash_fraction=0.0,
+        build_failure_fraction=0.0,
+        spill_fault_fraction=0.0,
+        stall_fraction=0.2,
+        stall_seconds=0.5,
+        deadline_seconds=0.1,
+    )
+    assert report["wrong_results"] == []
+    assert report["statuses"][Status.TIMEOUT] >= 1
+    assert report["pool_full_strength"]

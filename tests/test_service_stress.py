@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import random
 import threading
+import time
 from typing import Dict, List, Optional, Tuple
 
 import pytest
@@ -223,6 +224,172 @@ def test_rejected_requests_never_mutate_shared_state():
         assert service.match(
             MatchRequest(queries[1], break_automorphisms=False)
         ).ok
+
+
+# ----------------------------------------------------------------------
+# Drain / close / cancel paths
+# ----------------------------------------------------------------------
+
+def _gated_service(data, queries, **kwargs):
+    """A service whose first index resolution blocks on ``gate`` —
+    the deterministic way to hold one request in flight."""
+    service = MatchService(data, **kwargs)
+    gate = threading.Event()
+    entered = threading.Event()
+    original = service.index_cache.get_or_build
+
+    def gated(query, build):
+        entered.set()
+        assert gate.wait(timeout=60)
+        return original(query, build)
+
+    service.index_cache.get_or_build = gated
+    return service, gate, entered, original
+
+
+def test_drain_timeout_with_inflight_work():
+    data, queries, counts = _workload(150, 3, queries=1, seed=13)
+    service, gate, entered, original = _gated_service(
+        data, queries, workers=1, max_pending=4
+    )
+    try:
+        handle = service.submit(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert entered.wait(timeout=30)
+        # In-flight work pins drain until its timeout expires...
+        assert service.drain(timeout=0.05) is False
+        # ...and releasing the gate lets it drain fully.
+        service.index_cache.get_or_build = original
+        gate.set()
+        assert service.drain(timeout=30) is True
+        response = handle.result(timeout=1)
+        assert response.ok and response.count == counts[0]
+    finally:
+        gate.set()
+        assert service.close(timeout=30)
+
+
+def test_close_timeout_with_wedged_request_is_bounded():
+    """A worker wedged inside enumeration: ``close(timeout=...)`` must
+    return within the bound, resolve the stuck request TIMEOUT, and —
+    once the wedge clears — leak no threads."""
+    data, queries, _ = _workload(150, 3, queries=1, seed=13)
+    gate = threading.Event()
+    entered = threading.Event()
+    before = threading.active_count()
+
+    class _Wedged:
+        truncated = False
+        stop_reason = None
+
+        def collect(self, limit=None):
+            entered.set()
+            gate.wait(timeout=60)
+            return []
+
+        def collect_from_unit(self, prefix):
+            entered.set()
+            gate.wait(timeout=60)
+            return []
+
+    service = MatchService(data, workers=2, max_pending=4)
+    service._enumerator = lambda job, stats: _Wedged()
+    handle = service.submit(MatchRequest(
+        queries[0], break_automorphisms=False, limit=10,
+    ))
+    assert entered.wait(timeout=30)
+    started = time.monotonic()
+    closed = service.close(timeout=1.0)
+    elapsed = time.monotonic() - started
+    assert closed is False  # honest: a thread is still wedged
+    assert elapsed < 10.0  # but the call itself was bounded
+    response = handle.result(timeout=5)
+    assert response.status == Status.TIMEOUT
+    assert "close" in (response.error or "")
+    # Un-wedge: every service thread must now exit — no leaks.
+    gate.set()
+    deadline = time.monotonic() + 30
+    while threading.active_count() > before and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert threading.active_count() <= before
+
+
+def test_concurrent_close_is_idempotent():
+    """Several threads race ``close()`` while requests are in flight:
+    every call returns True, every request resolved, and the service
+    refuses new work afterwards."""
+    data, queries, counts = _workload(150, 3, queries=2, seed=7)
+    service = MatchService(data, workers=2, max_pending=64)
+    handles = [
+        service.submit(
+            MatchRequest(queries[i % 2], break_automorphisms=False)
+        )
+        for i in range(6)
+    ]
+    results: List[bool] = []
+    lock = threading.Lock()
+
+    def closer() -> None:
+        ok = service.close(timeout=60)
+        with lock:
+            results.append(ok)
+
+    closers = [threading.Thread(target=closer) for _ in range(4)]
+    for thread in closers:
+        thread.start()
+    for thread in closers:
+        thread.join()
+    assert results == [True] * 4
+    for i, handle in enumerate(handles):
+        response = handle.result(timeout=1)
+        assert response.ok and response.count == counts[i % 2]
+    with pytest.raises(RuntimeError):
+        service.submit(MatchRequest(queries[0], break_automorphisms=False))
+    # A fourth close after the fact is still a cheap no-op.
+    assert service.close(timeout=1)
+
+
+def test_cancel_resolves_cancelled():
+    data, queries, _ = _workload(150, 3, queries=1, seed=13)
+    service, gate, entered, original = _gated_service(
+        data, queries, workers=1, max_pending=4
+    )
+    try:
+        handle = service.submit(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert entered.wait(timeout=30)
+        assert handle.cancel() is True
+        service.index_cache.get_or_build = original
+        gate.set()
+        response = handle.result(timeout=30)
+        assert response.status == Status.CANCELLED
+        assert response.embeddings == []
+        # Cancelling a finished request reports False.
+        assert handle.cancel() is False
+    finally:
+        gate.set()
+        assert service.close(timeout=30)
+
+
+def test_cancel_on_rejected_request_is_false():
+    data, queries, _ = _workload(150, 3, queries=1, seed=13)
+    service, gate, entered, original = _gated_service(
+        data, queries, workers=1, max_pending=1
+    )
+    try:
+        service.submit(MatchRequest(queries[0], break_automorphisms=False))
+        assert entered.wait(timeout=30)
+        shed = service.submit(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert shed.result(timeout=1).status == Status.REJECTED
+        assert shed.cancel() is False
+    finally:
+        service.index_cache.get_or_build = original
+        gate.set()
+        assert service.close(timeout=30)
 
 
 @pytest.mark.slow
