@@ -5,6 +5,7 @@
     python -m repro match    QUERY DATA [--limit N] [--order bfs] [--all-autos]
                                         [--kernel {auto,merge,gallop,bitset}]
                                         [--store {dict,compact}]
+                                        [--engine {auto,recursive,batch}]
                                         [--timeout S] [--max-calls N]
                                         [--workers K] [--inject-faults SEED]
                                         [--trace FILE.jsonl] [--progress]
@@ -31,6 +32,9 @@ and cache counters are reported on stderr and in ``stats`` JSON.
 ``--store`` selects the runtime index representation (default
 ``compact`` — the dict builder is frozen into flat sorted int64 arrays
 after refinement; ``dict`` keeps the mutable builder; see DESIGN.md §8).
+``--engine`` selects the enumeration engine (default ``auto`` — whole
+frontiers expand as numpy batches on the compact store, everything else
+uses the per-embedding recursion; see DESIGN.md §12).
 ``--timeout`` / ``--max-calls`` cap the run with a
 :class:`~repro.resilience.budget.Budget`; a truncated run prints a
 ``# truncated: <axis>`` line on stderr instead of hanging.
@@ -118,6 +122,7 @@ def _make_matcher(args: argparse.Namespace) -> CECIMatcher:
         budget=_budget_from(args),
         kernel=getattr(args, "kernel", "auto"),
         store=getattr(args, "store", "compact"),
+        engine=getattr(args, "engine", "auto"),
         tracer=tracer,
     )
     if getattr(args, "progress", False):
@@ -533,6 +538,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "freeze the index into flat sorted arrays "
                             "after refinement; dict = keep the mutable "
                             "builder)")
+        p.add_argument("--engine", default="auto",
+                       choices=["auto", "recursive", "batch"],
+                       help="enumeration engine (auto = set-at-a-time "
+                            "numpy batches on the compact store, "
+                            "per-embedding recursion elsewhere; batch "
+                            "forces the vectorised engine and requires "
+                            "--store compact)")
         p.add_argument("--timeout", type=float, default=None, metavar="S",
                        help="wall-clock budget in seconds; the run returns "
                             "a flagged partial answer instead of hanging")

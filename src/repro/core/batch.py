@@ -1,0 +1,367 @@
+"""Set-at-a-time frontier enumeration over the compact store.
+
+The recursive enumerator (:mod:`repro.core.enumeration`) walks the
+matching order one partial embedding at a time: every extension is a
+Python-level binary search plus per-candidate ``used``-set and symmetry
+checks.  On the frozen :class:`~repro.core.store.CompactCECI` that
+per-row interpreter overhead dominates — the arrays are already flat
+int64, but each probe boxes its way through Python.
+
+This module expands **whole frontiers** instead, in the set-at-a-time
+join style of the STwig/billion-node literature: a frontier is a 2-D
+int64 array of partial embeddings (one row per embedding, one column per
+query vertex, ``-1`` for unmatched), and one matching-order step is a
+handful of whole-array numpy operations:
+
+* one vectorised ``searchsorted`` over the TE triple locates every
+  row's candidate block (:func:`~repro.kernels.searchsorted_blocks`);
+* one ragged gather materialises all extensions at once
+  (:func:`~repro.kernels.expand_blocks`);
+* NTE constraints become membership probes of combined
+  ``key * scale + value`` codes against a pre-sorted per-group array
+  (:meth:`~repro.core.store.CompactCECI.nte_combined` /
+  :func:`~repro.kernels.member_mask`) — the batched equivalent of the
+  TE∩NTE intersection;
+* injectivity and the Grochow–Kellis ordering rules are per-column
+  boolean masks (:func:`used_exclusion_mask`) instead of per-row set
+  and dict probes.
+
+Frontier blocks are processed **depth-first** off an explicit stack
+(expansion chunks pushed in reverse), so complete embeddings stream out
+in exactly the recursive engine's DFS order — ``limit`` prefixes are
+bit-identical — while memory stays bounded by ``O(depth x block x
+fanout)`` rows.  Budget axes charge whole blocks at once
+(:meth:`~repro.resilience.budget.BudgetTracker.charge_calls`) and leaf
+blocks are truncated *exactly* at the budget boundary before being
+committed, preserving the recursive engine's ``PartialResult``
+semantics; when ``max_calls`` is active, blocks shrink to single rows so
+the charge order equals the recursive engine's DFS node order and the
+truncation point is identical.  See DESIGN.md §12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..kernels.intersect import (
+    expand_blocks,
+    member_mask,
+    searchsorted_blocks,
+)
+from ..resilience.budget import BudgetExhausted
+
+__all__ = [
+    "BLOCK_ROWS",
+    "ENGINE_CHOICES",
+    "BatchEngine",
+    "batch_capable",
+    "used_exclusion_mask",
+]
+
+#: What ``Enumerator(engine=...)`` / ``--engine`` accept.  ``auto``
+#: (the default) picks ``batch`` whenever the index is capable (compact
+#: store, intersection mode, NTE groups present or query NTE-free) and
+#: falls back to ``recursive`` otherwise — dict-store recursion is
+#: untouched.
+ENGINE_CHOICES: Tuple[str, ...] = ("auto", "recursive", "batch")
+
+#: Row cap per frontier block: expansion output larger than this is
+#: split into chunks processed depth-first, bounding peak frontier
+#: memory while keeping each numpy call big enough to amortise its
+#: fixed cost.
+BLOCK_ROWS = 1 << 16
+
+
+def batch_capable(ceci, use_intersection: bool) -> bool:
+    """Whether the batch engine can serve this index.
+
+    It needs the compact store's CSR triples and intersection-mode NTE
+    groups; a TE-only index (CFLMatch's CPI shape) qualifies only when
+    the query has no non-tree edges to check.  Edge-verification mode
+    (``use_intersection=False``) always stays recursive — it is the
+    Section 4.1 ablation and must keep its per-edge cost model.
+    """
+    from .store import CompactCECI
+
+    if not use_intersection:
+        return False
+    if not isinstance(ceci, CompactCECI):
+        return False
+    if ceci.nte_built:
+        return True
+    return not any(ceci.tree.nte_parents)
+
+
+def used_exclusion_mask(
+    frontier: np.ndarray,
+    rows: np.ndarray,
+    cand: np.ndarray,
+    used_cols: Sequence[int],
+) -> np.ndarray:
+    """Injectivity mask: ``True`` where ``cand[i]`` differs from every
+    already-matched column of its source row ``frontier[rows[i]]``.
+
+    The batched replacement for the recursive engine's per-embedding
+    ``used`` set: each matched query-vertex column is compared against
+    the candidate column in one whole-array operation.
+    """
+    keep = np.ones(len(cand), dtype=bool)
+    for col in used_cols:
+        keep &= frontier[rows, col] != cand
+    return keep
+
+
+class _Level:
+    """Precomputed per-depth expansion plan (one per matching-order
+    step): the TE triple to probe, the NTE membership arrays, and which
+    frontier columns the injectivity / symmetry masks compare against."""
+
+    __slots__ = (
+        "u",
+        "parent_col",
+        "te_keys",
+        "te_offsets",
+        "te_values",
+        "nte",
+        "used_cols",
+        "above_cols",
+        "below_cols",
+    )
+
+    def __init__(self, ceci, symmetry, depth: int) -> None:
+        tree = ceci.tree
+        order = tree.order
+        self.u = order[depth]
+        self.parent_col = tree.parent[self.u]
+        self.te_keys, self.te_offsets, self.te_values = ceci.te[self.u]
+        #: ``(column of the NTE parent, combined sorted codes)`` pairs.
+        self.nte: List[Tuple[int, np.ndarray]] = [
+            (u_n, ceci.nte_combined(self.u, u_n))
+            for u_n in tree.nte_parents[self.u]
+        ]
+        self.used_cols: Tuple[int, ...] = tuple(order[:depth])
+        # Grochow-Kellis counterparts matched *before* this depth; later
+        # ones are still -1 in every row, which `admissible` skips.
+        position = tree.position
+        self.above_cols: Tuple[int, ...] = tuple(
+            lo
+            for lo, hi in symmetry.conditions
+            if hi == self.u and position[lo] < depth
+        )
+        self.below_cols: Tuple[int, ...] = tuple(
+            hi
+            for lo, hi in symmetry.conditions
+            if lo == self.u and position[hi] < depth
+        )
+
+
+class BatchEngine:
+    """Vectorised frontier expansion over one built compact index.
+
+    Owned by an :class:`~repro.core.enumeration.Enumerator` in batch
+    mode; shares that enumerator's ``stats``, budget ``tracker`` and
+    ``progress`` reporter so the two engines are drop-in replacements
+    behind the same counters and truncation semantics.
+    """
+
+    def __init__(
+        self, ceci, symmetry, stats, tracker=None, progress=None
+    ) -> None:
+        self.ceci = ceci
+        self.tree = ceci.tree
+        self.symmetry = symmetry
+        self.stats = stats
+        self.tracker = tracker
+        self.progress = progress
+        self.num_vertices = self.tree.query.num_vertices
+        self.scale = ceci.pair_scale
+        order = self.tree.order
+        self.depth_total = len(order)
+        self.levels: List[_Level] = [
+            _Level(ceci, symmetry, depth) for depth in range(len(order))
+        ]
+
+    # ------------------------------------------------------------------
+    # Frontier construction
+    # ------------------------------------------------------------------
+    def root_frontier(self, pivots) -> np.ndarray:
+        """A depth-1 frontier: one row per pivot, root column set."""
+        arr = np.asarray(pivots, dtype=np.int64)
+        frontier = np.full(
+            (len(arr), self.num_vertices), -1, dtype=np.int64
+        )
+        if len(arr):
+            frontier[:, self.tree.root] = arr
+        return frontier
+
+    def seed_frontier(self, prefix: Sequence[int]) -> Optional[np.ndarray]:
+        """A one-row frontier seeded from a work-unit prefix, or
+        ``None`` when the prefix is dead (injectivity or symmetry
+        violation) — mirroring the recursive engine's prefix checks."""
+        order = self.tree.order
+        if len(prefix) > len(order):
+            raise ValueError("work-unit prefix longer than the query")
+        mapping = [-1] * self.num_vertices
+        used: set = set()
+        for depth, v in enumerate(prefix):
+            u = order[depth]
+            v = int(v)
+            if v in used or not self.symmetry.admissible(u, v, mapping):
+                return None
+            mapping[u] = v
+            used.add(v)
+        return np.asarray([mapping], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Expansion
+    # ------------------------------------------------------------------
+    def _expand(self, frontier: np.ndarray, depth: int) -> Optional[np.ndarray]:
+        """One matching-order step for a whole frontier block: returns
+        the depth+1 frontier (or ``None`` when nothing survives)."""
+        level = self.levels[depth]
+        stats = self.stats
+        starts, counts = searchsorted_blocks(
+            level.te_keys, level.te_offsets, frontier[:, level.parent_col]
+        )
+        if level.nte:
+            # One logical TE∩NTE intersection per row with a non-empty
+            # TE base — the recursive engine's counting convention.
+            stats.intersections += int(np.count_nonzero(counts))
+        rows, cand = expand_blocks(level.te_values, starts, counts)
+        if len(cand) == 0:
+            return None
+        keep = None
+        if level.nte:
+            # Batched semi-join: each NTE group is one vectorised
+            # membership probe of combined (parent match, candidate)
+            # codes — the array-kernel path of this engine.
+            stats.kernel_array_calls += len(level.nte)
+            scale = self.scale
+            for col, combined in level.nte:
+                mask = member_mask(
+                    combined, frontier[rows, col] * scale + cand
+                )
+                keep = mask if keep is None else keep & mask
+        used = used_exclusion_mask(frontier, rows, cand, level.used_cols)
+        keep = used if keep is None else keep & used
+        for col in level.above_cols:
+            keep &= frontier[rows, col] < cand
+        for col in level.below_cols:
+            keep &= cand < frontier[rows, col]
+        if not keep.all():
+            rows = rows[keep]
+            cand = cand[keep]
+            if len(cand) == 0:
+                return None
+        out = frontier[rows]
+        out[:, level.u] = cand
+        return out
+
+    # ------------------------------------------------------------------
+    # Depth-first block processing
+    # ------------------------------------------------------------------
+    def blocks(
+        self,
+        frontier: np.ndarray,
+        depth: int,
+        remaining: List[Optional[int]],
+    ) -> Iterator[np.ndarray]:
+        """Expand ``frontier`` to completion, yielding blocks of
+        complete embeddings in exact recursive-DFS order.
+
+        ``remaining`` is the shared one-cell ``limit`` budget (``[None]``
+        for unlimited); budget axes raise :class:`BudgetExhausted`
+        exactly where the recursive engine would.  Each popped block is
+        charged ``len(block)`` extension calls; complete blocks are
+        truncated to the tightest remaining capacity before being
+        committed, so truncation lands mid-block with no overshoot.
+        """
+        total_depth = self.depth_total
+        stats = self.stats
+        tracker = self.tracker
+        progress = self.progress
+        if remaining[0] is not None and remaining[0] <= 0:
+            return
+        # Exact max_calls parity needs the charge order to equal the
+        # DFS node order, which only single-row blocks give; the other
+        # axes truncate at leaf emission, so full blocks are fine.
+        row_cap = BLOCK_ROWS
+        if tracker is not None and tracker.budget.max_calls is not None:
+            row_cap = 1
+        stack: List[Tuple[int, np.ndarray]] = [(depth, frontier)]
+        while stack:
+            d, block = stack.pop()
+            n_rows = len(block)
+            if n_rows == 0:
+                continue
+            if d >= total_depth:
+                yield from self._emit(block, remaining)
+                if remaining[0] is not None and remaining[0] <= 0:
+                    return
+                continue
+            stats.batch_blocks += 1
+            stats.batch_rows += n_rows
+            if tracker is None:
+                stats.recursive_calls += n_rows
+            else:
+                before = tracker.calls
+                try:
+                    tracker.charge_calls(n_rows)
+                finally:
+                    stats.recursive_calls += tracker.calls - before
+            if progress is not None:
+                progress.tick_many(n_rows)
+            grown = self._expand(block, d)
+            if grown is None:
+                continue
+            if len(grown) > row_cap:
+                stack.extend(
+                    (d + 1, grown[i : i + row_cap])
+                    for i in reversed(range(0, len(grown), row_cap))
+                )
+            else:
+                stack.append((d + 1, grown))
+
+    def _emit(
+        self, block: np.ndarray, remaining: List[Optional[int]]
+    ) -> Iterator[np.ndarray]:
+        """Commit one block of complete embeddings, truncated exactly at
+        the tightest of ``limit`` and the budget capacities."""
+        n_rows = len(block)
+        take = n_rows
+        reason: Optional[str] = None
+        if remaining[0] is not None and remaining[0] < take:
+            take = remaining[0]
+        tracker = self.tracker
+        if tracker is not None:
+            cap, cap_reason = tracker.embedding_capacity(self.num_vertices)
+            if cap is not None and cap < take:
+                take, reason = cap, cap_reason
+            calls_left = tracker.calls_capacity()
+            if calls_left is not None and calls_left < take:
+                take, reason = calls_left, "max_calls"
+        if take > 0:
+            self.stats.recursive_calls += take
+            self.stats.embeddings_found += take
+            if tracker is not None:
+                tracker.commit_calls(take)
+                tracker.commit_embeddings(take, self.num_vertices)
+            if self.progress is not None:
+                self.progress.tick_many(take)
+            if remaining[0] is not None:
+                remaining[0] -= take
+            yield block[:take]
+        if take < n_rows and reason is not None:
+            # A budget axis (not the caller's limit) cut this block
+            # short.  Account the failing candidate's entry call exactly
+            # as the recursion would, then surface the binding axis —
+            # charge_call itself raises max_calls when that is it.
+            if tracker is not None:
+                before = tracker.calls
+                try:
+                    tracker.charge_call()
+                finally:
+                    self.stats.recursive_calls += tracker.calls - before
+            raise BudgetExhausted(reason)

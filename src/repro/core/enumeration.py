@@ -36,6 +36,8 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..kernels import (
     DEFAULT_CACHE_SIZE,
     KERNEL_CHOICES,
@@ -45,10 +47,11 @@ from ..kernels import (
 from ..observability.tracer import NULL_TRACER
 from ..resilience.budget import Budget, BudgetExhausted, BudgetTracker
 from .automorphism import SymmetryBreaker
+from .batch import ENGINE_CHOICES, BatchEngine, batch_capable
 from .stats import MatchStats
 from .store import CECIStore
 
-__all__ = ["Enumerator", "Embedding"]
+__all__ = ["ENGINE_CHOICES", "Enumerator", "Embedding"]
 
 #: A complete embedding: ``embedding[u]`` is the data vertex matched to
 #: query vertex ``u`` (indexed by query vertex id, not matching order).
@@ -103,6 +106,14 @@ class Enumerator:
         ticked once per recursive call.  Wiring happens by shadowing
         the recursion entry points, so the disabled hot path carries
         no per-call check at all.
+    engine:
+        ``"auto"`` (default) routes compact-store intersection
+        enumeration through the set-at-a-time batch engine
+        (:mod:`repro.core.batch`) and everything else through the
+        recursion; ``"recursive"`` forces the per-embedding recursion;
+        ``"batch"`` forces the vectorised engine and raises when the
+        index cannot serve it (dict store, edge-verification mode, or
+        a TE-only index facing a query with non-tree edges).
     """
 
     def __init__(
@@ -118,12 +129,30 @@ class Enumerator:
         cache=None,
         tracer=None,
         progress=None,
+        engine: str = "auto",
     ) -> None:
         if kernel not in KERNEL_CHOICES:
             raise ValueError(
                 f"unknown intersection kernel {kernel!r}; "
                 f"expected one of {KERNEL_CHOICES}"
             )
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown enumeration engine {engine!r}; "
+                f"expected one of {ENGINE_CHOICES}"
+            )
+        capable = batch_capable(ceci, use_intersection)
+        if engine == "batch" and not capable:
+            raise ValueError(
+                "engine='batch' requires a CompactCECI store in "
+                "intersection mode (with NTE groups built, or an "
+                "NTE-free query)"
+            )
+        #: The resolved engine actually running: "batch" or "recursive".
+        self.engine = "batch" if (capable and engine != "recursive") else (
+            "recursive"
+        )
+        self._batch: Optional[BatchEngine] = None
         self.ceci = ceci
         self.tree = ceci.tree
         self.symmetry = symmetry or SymmetryBreaker(ceci.tree.query)
@@ -172,10 +201,96 @@ class Enumerator:
             self.tracer.instant("cache", **self._cache.snapshot())
 
     # ------------------------------------------------------------------
+    # Batch (set-at-a-time) delegation — DESIGN.md §12
+    # ------------------------------------------------------------------
+    def _batch_instance(self) -> BatchEngine:
+        if self._batch is None:
+            self._batch = BatchEngine(
+                self.ceci,
+                self.symmetry,
+                self.stats,
+                tracker=self._tracker,
+                progress=self._progress,
+            )
+        return self._batch
+
+    def _batch_serial(self, limit: Optional[int]) -> bool:
+        """Whether to seed one root frontier per pivot (cluster-serial
+        DFS) instead of one all-pivots frontier.
+
+        Serial is required whenever per-cluster behavior is observable:
+        an enabled tracer wants per-cluster spans, a ``limit`` must not
+        pay for clusters past the cut, and a counting budget axis must
+        charge clusters in the recursive engine's order.  The
+        unbudgeted, unlimited perf path takes the all-pivots mega-batch
+        (which still yields exact DFS order — see DESIGN.md §12).
+        """
+        if limit is not None or self.tracer.enabled:
+            return True
+        if self._tracker is not None:
+            budget = self._tracker.budget
+            return not (
+                budget.max_calls is None
+                and budget.max_embeddings is None
+                and budget.max_memory_bytes is None
+            )
+        return False
+
+    def _batch_blocks(
+        self, limit: Optional[int]
+    ) -> Iterator["np.ndarray"]:
+        """Stream complete-embedding blocks for a whole-index run,
+        handling tracker start, cluster spans, limit and budget stops."""
+        engine = self._batch_instance()
+        if self._tracker is not None:
+            self._tracker.start()
+        remaining: List[Optional[int]] = [limit]
+        tracer = self.tracer
+        try:
+            if self._batch_serial(limit):
+                for pivot in self.ceci.pivots:
+                    with tracer.cluster_span(int(pivot)):
+                        yield from engine.blocks(
+                            engine.root_frontier([pivot]), 1, remaining
+                        )
+                    if remaining[0] is not None and remaining[0] <= 0:
+                        return
+            else:
+                pivots = self.ceci.pivots
+                if len(pivots):
+                    yield from engine.blocks(
+                        engine.root_frontier(pivots), 1, remaining
+                    )
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
+        finally:
+            self.trace_cache_state()
+
+    def _batch_unit_blocks(
+        self, prefix: Sequence[int], limit: Optional[int]
+    ) -> Iterator["np.ndarray"]:
+        """Stream complete-embedding blocks for one work-unit prefix."""
+        engine = self._batch_instance()
+        if self._tracker is not None:
+            self._tracker.start()
+        frontier = engine.seed_frontier(prefix)
+        if frontier is None:
+            return
+        try:
+            yield from engine.blocks(frontier, len(prefix), [limit])
+        except BudgetExhausted as stop:
+            self._note_budget_stop(stop)
+
+    # ------------------------------------------------------------------
     # Public entry points
     # ------------------------------------------------------------------
     def embeddings(self, limit: Optional[int] = None) -> Iterator[Embedding]:
         """Yield embeddings cluster by cluster (pivot order)."""
+        if self.engine == "batch":
+            for block in self._batch_blocks(limit):
+                for row in block.tolist():
+                    yield tuple(row)
+            return
         if self._tracker is not None:
             self._tracker.start()
         remaining = [limit]
@@ -196,6 +311,11 @@ class Enumerator:
     ) -> Iterator[Embedding]:
         """Yield embeddings of one work unit (partial-embedding prefix
         along the matching order) — the FGD execution path."""
+        if self.engine == "batch":
+            for block in self._batch_unit_blocks(prefix, limit):
+                for row in block.tolist():
+                    yield tuple(row)
+            return
         if self._tracker is not None:
             self._tracker.start()
         try:
@@ -205,6 +325,10 @@ class Enumerator:
 
     def count(self, limit: Optional[int] = None) -> int:
         """Number of embeddings (up to ``limit``)."""
+        if self.engine == "batch":
+            # Count whole blocks — embeddings are never materialised as
+            # tuples at all on this path.
+            return sum(len(block) for block in self._batch_blocks(limit))
         total = 0
         for _ in self.embeddings(limit):
             total += 1
@@ -219,6 +343,11 @@ class Enumerator:
     def collect(self, limit: Optional[int] = None) -> List[Embedding]:
         """All embeddings (or the first ``limit``) as a list.  Under a
         budget the list may be partial — check ``truncated``."""
+        if self.engine == "batch":
+            batched: List[Embedding] = []
+            for block in self._batch_blocks(limit):
+                batched.extend(map(tuple, block.tolist()))
+            return batched
         out: List[Embedding] = []
         sink = out.append
         order = self.tree.order
@@ -262,6 +391,11 @@ class Enumerator:
         self, prefix: Sequence[int], limit: Optional[int] = None
     ) -> List[Embedding]:
         """List-returning analog of :meth:`embeddings_from_unit`."""
+        if self.engine == "batch":
+            batched: List[Embedding] = []
+            for block in self._batch_unit_blocks(prefix, limit):
+                batched.extend(map(tuple, block.tolist()))
+            return batched
         out: List[Embedding] = []
         if self._tracker is not None:
             self._tracker.start()

@@ -26,7 +26,7 @@ from ..resilience.budget import (
 from .automorphism import SymmetryBreaker
 from .ceci import CECI
 from .clusters import WorkUnit, clusters_of, decompose_extreme_clusters
-from .enumeration import Embedding, Enumerator
+from .enumeration import ENGINE_CHOICES, Embedding, Enumerator
 from .filtering import FilterConfig, build_ceci
 from .matching_order import make_order
 from .query_tree import QueryTree
@@ -58,6 +58,12 @@ class CECIMatcher:
       (default) freezes the refined index into flat int64 arrays
       (:class:`~repro.core.store.CompactCECI`, the paper's compact
       layout — DESIGN.md §8); ``"dict"`` keeps the mutable builder;
+    * ``engine`` — enumeration engine: ``"auto"`` (default) expands
+      whole frontiers as numpy batches on the compact store
+      (set-at-a-time joins — DESIGN.md §12) and falls back to the
+      per-embedding recursion elsewhere; ``"recursive"`` forces the
+      recursion; ``"batch"`` forces the vectorised engine (requires
+      ``store="compact"`` and ``use_intersection=True``);
     * ``budget`` — optional :class:`~repro.resilience.budget.Budget`
       capping the run (deadline / calls / embeddings / memory); use
       :meth:`run` to get the explicit ``truncated`` flag;
@@ -87,6 +93,7 @@ class CECIMatcher:
         kernel: str = "auto",
         cache_size: int = DEFAULT_CACHE_SIZE,
         store: str = "compact",
+        engine: str = "auto",
         tracer=None,
         progress: Optional[ProgressReporter] = None,
     ) -> None:
@@ -104,6 +111,16 @@ class CECIMatcher:
                 f"unknown index store {store!r}; "
                 f"expected one of {STORE_CHOICES}"
             )
+        if engine not in ENGINE_CHOICES:
+            raise ValueError(
+                f"unknown enumeration engine {engine!r}; "
+                f"expected one of {ENGINE_CHOICES}"
+            )
+        if engine == "batch" and (store != "compact" or not use_intersection):
+            raise ValueError(
+                "engine='batch' requires store='compact' and "
+                "use_intersection=True"
+            )
         self.query = query
         self.data = data
         self.order_strategy = order_strategy
@@ -112,6 +129,7 @@ class CECIMatcher:
         self.kernel = kernel
         self.cache_size = cache_size
         self.store = store
+        self.engine = engine
         self.filter_config = FilterConfig(
             use_degree_filter=use_degree_filter,
             use_nlc_filter=use_nlc_filter,
@@ -215,6 +233,7 @@ class CECIMatcher:
             cache_size=self.cache_size,
             tracer=self.tracer,
             progress=self._armed_progress(tracker),
+            engine=self.engine,
         )
 
     def _armed_progress(

@@ -35,6 +35,10 @@ class MatchStats:
     embeddings_found: int = 0
     intersections: int = 0
     edge_verifications: int = 0
+    #: Frontier blocks expanded by the set-at-a-time batch engine.
+    batch_blocks: int = 0
+    #: Partial embeddings (frontier rows) expanded in batch.
+    batch_rows: int = 0
 
     # --- intersection kernels & candidate cache --------------------------
     #: Intersections executed by each kernel (adaptive dispatch or forced).

@@ -172,6 +172,10 @@ class CompactCECI:
         self.nte = nte
         self.card = card
         self.nte_built = nte_built
+        # Lazily-built combined-key views for the batch engine (one
+        # sorted ``key * scale + value`` array per NTE group); see
+        # :meth:`nte_combined`.  Keyed ``(u, u_n)``.
+        self._nte_combined: Dict[Tuple[int, int], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -223,6 +227,44 @@ class CompactCECI:
         if triple is None:
             return _EMPTY_I64
         return lookup_pairs(triple, v_n)
+
+    @property
+    def pair_scale(self) -> int:
+        """Multiplier folding a ``(key, value)`` pair into one int64
+        (``key * scale + value``); any value strictly greater than every
+        data-vertex id works, and ``num_vertices`` is the smallest."""
+        return max(int(self.data.num_vertices), 1)
+
+    def nte_combined(self, u: int, u_n: int) -> np.ndarray:
+        """The NTE group ``nte[u][u_n]`` as one globally-sorted array of
+        combined ``key * pair_scale + value`` codes.
+
+        Because the key column is sorted and each value block is sorted,
+        the concatenation ``repeat(keys, block_len) * scale + values``
+        is already sorted — so one ``searchsorted`` answers "is data
+        edge ``(v_n, c)`` a candidate edge of this group" for a whole
+        frontier of pairs at once.  Built lazily per group and memoised
+        on the store (a shared store may build a view twice under a
+        race; both results are identical arrays, so last-write-wins is
+        benign).
+        """
+        cached = self._nte_combined.get((u, u_n))
+        if cached is not None:
+            return cached
+        triple = self.nte[u].get(u_n)
+        if triple is None:
+            combined = _EMPTY_I64
+        else:
+            keys, offsets, values = triple
+            if len(values) == 0:
+                combined = _EMPTY_I64
+            else:
+                combined = (
+                    np.repeat(keys, np.diff(offsets)) * self.pair_scale
+                    + values
+                )
+        self._nte_combined[(u, u_n)] = combined
+        return combined
 
     def cardinality_of(self, u: int, v: int) -> int:
         """Refinement cardinality of ``u -> v`` (0 if pruned)."""

@@ -18,6 +18,7 @@ from .intersect import (
     KERNEL_NAMES,
     choose_kernel,
     dispatch,
+    expand_blocks,
     intersect,
     intersect_bitset,
     intersect_gallop,
@@ -25,6 +26,8 @@ from .intersect import (
     intersect_ndarray,
     kernel_observer,
     maybe_assert_sorted,
+    member_mask,
+    searchsorted_blocks,
     set_check_sorted,
     set_kernel_observer,
     sorted_checks_enabled,
@@ -41,6 +44,7 @@ __all__ = [
     "KERNEL_NAMES",
     "choose_kernel",
     "dispatch",
+    "expand_blocks",
     "intersect",
     "intersect_bitset",
     "intersect_gallop",
@@ -48,6 +52,8 @@ __all__ = [
     "intersect_ndarray",
     "kernel_observer",
     "maybe_assert_sorted",
+    "member_mask",
+    "searchsorted_blocks",
     "set_check_sorted",
     "set_kernel_observer",
     "sorted_checks_enabled",

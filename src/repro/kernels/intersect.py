@@ -48,12 +48,15 @@ __all__ = [
     "BITSET_MIN_SHORTEST",
     "choose_kernel",
     "dispatch",
+    "expand_blocks",
     "intersect",
     "intersect_merge",
     "intersect_gallop",
     "intersect_bitset",
     "intersect_ndarray",
     "kernel_observer",
+    "member_mask",
+    "searchsorted_blocks",
     "maybe_assert_sorted",
     "set_check_sorted",
     "set_kernel_observer",
@@ -301,6 +304,74 @@ def intersect_bitset(lists: Sequence[SortedList]) -> List[int]:
             for bit in byte_bits[byte]:
                 append(base + bit)
     return out
+
+
+# ----------------------------------------------------------------------
+# Batched (frontier-at-a-time) primitives
+# ----------------------------------------------------------------------
+# The set-at-a-time enumeration engine (repro.core.batch) probes one CSR
+# triple with a whole frontier of keys at once.  These three primitives
+# are the vectorised counterparts of ``lookup_pairs`` + membership
+# testing: one ``np.searchsorted`` over all probes replaces one binary
+# search per partial embedding.  All inputs/outputs are int64 arrays.
+
+
+def searchsorted_blocks(keys, offsets, probes):
+    """Locate the value block of each probe key in a ``(keys, offsets,
+    values)`` CSR triple.
+
+    Returns ``(starts, counts)`` int64 arrays of ``len(probes)``:
+    ``values[starts[i]:starts[i]+counts[i]]`` are probe ``i``'s values
+    (``counts[i] == 0`` when the key is absent).  Vectorised equivalent
+    of calling ``lookup_pairs`` once per probe.
+    """
+    n = len(keys)
+    total = len(probes)
+    if n == 0 or total == 0:
+        zeros = _np.zeros(total, dtype=_np.int64)
+        return zeros, zeros.copy()
+    idx = _np.searchsorted(keys, probes)
+    idx_c = _np.minimum(idx, n - 1)
+    found = keys[idx_c] == probes
+    starts = _np.where(found, offsets[idx_c], 0)
+    counts = _np.where(found, offsets[idx_c + 1] - offsets[idx_c], 0)
+    return starts.astype(_np.int64, copy=False), counts.astype(
+        _np.int64, copy=False
+    )
+
+
+def expand_blocks(values, starts, counts):
+    """Gather the ragged value blocks located by
+    :func:`searchsorted_blocks` into flat arrays.
+
+    Returns ``(rows, out)``: ``out`` is every block's values
+    concatenated in probe order, ``rows[i]`` the probe index that
+    produced ``out[i]``.  This is the frontier-expansion gather: one
+    partial embedding (probe) fans out into ``counts[i]`` extensions.
+    """
+    counts = _np.asarray(counts, dtype=_np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        empty = _np.empty(0, dtype=_np.int64)
+        return empty, empty.copy()
+    rows = _np.repeat(_np.arange(len(counts), dtype=_np.int64), counts)
+    ends = _np.cumsum(counts)
+    firsts = ends - counts
+    within = _np.arange(total, dtype=_np.int64) - _np.repeat(firsts, counts)
+    return rows, values[_np.repeat(starts, counts) + within]
+
+
+def member_mask(haystack, needles):
+    """Boolean mask: which ``needles`` occur in the sorted ``haystack``.
+
+    One vectorised ``np.searchsorted`` — the batched form of the
+    per-candidate binary-search membership test used by NTE filtering.
+    """
+    n = len(haystack)
+    if n == 0:
+        return _np.zeros(len(needles), dtype=bool)
+    pos = _np.minimum(_np.searchsorted(haystack, needles), n - 1)
+    return haystack[pos] == needles
 
 
 def intersect_ndarray(lists: Sequence[SortedList]) -> "SortedList":

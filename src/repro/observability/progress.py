@@ -100,6 +100,21 @@ class ProgressReporter:
             if now >= self._next_emit_at:
                 self._emit(now)
 
+    def tick_many(self, n: int) -> None:
+        """``n`` units of enumeration work at once — the batch engine's
+        per-frontier-block tick (one clock check per block at most)."""
+        if n <= 0:
+            return
+        self._ticks += n
+        self._pending += n
+        if self._pending >= self.check_every:
+            self._pending = 0
+            if self._started_at is None:
+                self.start()
+            now = time.perf_counter()
+            if now >= self._next_emit_at:
+                self._emit(now)
+
     def finish(self, force: bool = False) -> None:
         """Emit one final ``(done)`` line (only if the run ever ticked).
 

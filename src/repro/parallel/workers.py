@@ -178,6 +178,7 @@ def parallel_match(
             kernel=matcher.kernel,
             cache_size=matcher.cache_size,
             tracer=wtracer,
+            engine=matcher.engine,
         )
         buffer: List[Tuple[int, ...]] = []
         started = time.perf_counter()

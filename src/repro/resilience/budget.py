@@ -152,6 +152,72 @@ class BudgetTracker:
             if time.perf_counter() >= self._deadline_at:
                 raise BudgetExhausted("deadline")
 
+    # ------------------------------------------------------------------
+    # Bulk accounting — the batch engine's interface.  One frontier
+    # block is charged with a single call instead of one per row; the
+    # capacity queries let the engine truncate a leaf block *exactly* at
+    # the budget boundary before committing it.
+    # ------------------------------------------------------------------
+    def charge_calls(self, n: int) -> None:
+        """Account ``n`` extension calls at once (one frontier block).
+
+        On overflow the counter is clamped to ``max_calls + 1`` —
+        exactly where the per-call path stops — so ``calls`` never
+        overstates the work bound by more than the recursive engine's
+        own failing call."""
+        limit = self.budget.max_calls
+        if limit is not None and self.calls + n > limit:
+            self.calls = limit + 1
+            raise BudgetExhausted("max_calls")
+        self.calls += n
+        if self._deadline_at is not None:
+            if time.perf_counter() >= self._deadline_at:
+                raise BudgetExhausted("deadline")
+
+    def calls_capacity(self) -> Optional[int]:
+        """Extension calls left before ``max_calls`` trips (``None``
+        when the axis is uncapped)."""
+        limit = self.budget.max_calls
+        if limit is None:
+            return None
+        return max(limit - self.calls, 0)
+
+    def embedding_capacity(
+        self, num_vertices: int
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """How many more embeddings fit, and which axis bounds them.
+
+        Returns ``(capacity, reason)`` where ``reason`` is
+        ``"max_embeddings"`` or ``"max_memory"``; ``(None, None)`` when
+        neither axis is capped.  Ties keep ``"max_embeddings"`` — the
+        axis :meth:`charge_embedding` checks first."""
+        cap: Optional[int] = None
+        reason: Optional[str] = None
+        limit = self.budget.max_embeddings
+        if limit is not None:
+            cap = max(limit - self.embeddings, 0)
+            reason = "max_embeddings"
+        mem = self.budget.max_memory_bytes
+        if mem is not None:
+            left = max(mem - self.memory_bytes, 0) // embedding_bytes(
+                num_vertices
+            )
+            if cap is None or left < cap:
+                cap, reason = int(left), "max_memory"
+        return cap, reason
+
+    def commit_calls(self, n: int) -> None:
+        """Record ``n`` calls already validated against capacity
+        (no limit check, no raise)."""
+        self.calls += n
+
+    def commit_embeddings(self, count: int, num_vertices: int) -> None:
+        """Record ``count`` emitted embeddings already validated against
+        :meth:`embedding_capacity` (no limit check, no raise)."""
+        self.embeddings += count
+        if self.budget.max_memory_bytes is not None:
+            self.memory_bytes += count * embedding_bytes(num_vertices)
+
     def charge_embedding(self, num_vertices: int) -> None:
         """Account one emitted embedding of ``num_vertices`` vertices."""
         self.embeddings += 1

@@ -1,0 +1,414 @@
+"""Property and metamorphic tests for the set-at-a-time batch engine.
+
+The batched frontier join (DESIGN.md §12) must be an *exact* drop-in
+for the recursive enumerator: every vectorised primitive is checked
+against its scalar counterpart on random inputs, and the full engine is
+checked against the recursive engine for identical embedding **order**
+(not just sets), identical ``limit`` prefixes, and identical budget
+truncation points.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from conftest import random_labeled_instance
+from repro.core.batch import (
+    ENGINE_CHOICES,
+    BatchEngine,
+    batch_capable,
+    used_exclusion_mask,
+)
+from repro.core.enumeration import Enumerator
+from repro.core.matcher import CECIMatcher
+from repro.core.store import encode_pairs, lookup_pairs
+from repro.graph import Graph
+from repro.kernels import expand_blocks, member_mask, searchsorted_blocks
+from repro.resilience import Budget
+
+
+def _random_triple(rng: random.Random):
+    """A random CSR (keys, offsets, values) triple as encode_pairs
+    builds it: sorted unique keys, per-key sorted value runs (duplicate
+    values allowed — multigraph-shaped runs must round-trip too)."""
+    mapping = {}
+    for key in rng.sample(range(50), rng.randint(0, 12)):
+        run = sorted(rng.choices(range(200), k=rng.randint(1, 9)))
+        mapping[key] = run
+    return mapping, encode_pairs(mapping)
+
+
+class TestFrontierJoinPrimitives:
+    """searchsorted_blocks + expand_blocks == per-row lookup_pairs."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_batched_join_equals_per_row_lookup(self, seed):
+        rng = random.Random(seed)
+        mapping, triple = _random_triple(rng)
+        # Probe present keys, absent keys, and *duplicates* of both —
+        # a frontier routinely probes the same parent match many times.
+        probes = rng.choices(range(60), k=rng.randint(0, 40))
+        probe_arr = np.asarray(probes, dtype=np.int64)
+
+        keys, offsets, values_arr = triple
+        starts, counts = searchsorted_blocks(keys, offsets, probe_arr)
+        rows, values = expand_blocks(values_arr, starts, counts)
+
+        expected_rows, expected_values = [], []
+        for i, key in enumerate(probes):
+            for v in lookup_pairs(triple, key):
+                expected_rows.append(i)
+                expected_values.append(int(v))
+        assert rows.tolist() == expected_rows
+        assert values.tolist() == expected_values
+        # And per-probe block sizes agree with the scalar lookup.
+        assert counts.tolist() == [
+            len(lookup_pairs(triple, key)) for key in probes
+        ]
+
+    def test_empty_frontier(self):
+        _, (keys, offsets, values_arr) = _random_triple(random.Random(3))
+        empty = np.empty(0, dtype=np.int64)
+        starts, counts = searchsorted_blocks(keys, offsets, empty)
+        assert len(starts) == len(counts) == 0
+        rows, values = expand_blocks(values_arr, starts, counts)
+        assert len(rows) == len(values) == 0
+
+    def test_empty_triple(self):
+        keys, offsets, values_arr = encode_pairs({})
+        probes = np.asarray([0, 7, 7, 99], dtype=np.int64)
+        starts, counts = searchsorted_blocks(keys, offsets, probes)
+        assert counts.tolist() == [0, 0, 0, 0]
+        rows, values = expand_blocks(values_arr, starts, counts)
+        assert len(rows) == len(values) == 0
+
+    def test_probe_beyond_last_key(self):
+        keys, offsets, _ = encode_pairs({5: [1, 2]})
+        probes = np.asarray([4, 5, 6, 10**9], dtype=np.int64)
+        _, counts = searchsorted_blocks(keys, offsets, probes)
+        assert counts.tolist() == [0, 2, 0, 0]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_member_mask_equals_set_membership(self, seed):
+        rng = random.Random(seed * 11 + 5)
+        haystack = np.unique(
+            np.asarray(
+                rng.choices(range(100), k=rng.randint(0, 25)), dtype=np.int64
+            )
+        )
+        needles = np.asarray(
+            rng.choices(range(120), k=rng.randint(0, 40)), dtype=np.int64
+        )
+        present = set(haystack.tolist())
+        mask = member_mask(haystack, needles)
+        assert mask.tolist() == [int(n) in present for n in needles]
+
+    def test_member_mask_empty_haystack(self):
+        needles = np.asarray([1, 2, 3], dtype=np.int64)
+        assert not member_mask(np.empty(0, dtype=np.int64), needles).any()
+
+
+class TestUsedExclusionMask:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_equals_set_based_exclusion(self, seed):
+        rng = random.Random(seed * 7 + 2)
+        n_rows, n_cols = rng.randint(1, 12), rng.randint(2, 6)
+        frontier = np.asarray(
+            [
+                [rng.randint(-1, 8) for _ in range(n_cols)]
+                for _ in range(n_rows)
+            ],
+            dtype=np.int64,
+        )
+        used_cols = rng.sample(range(n_cols), rng.randint(0, n_cols))
+        rows = np.asarray(
+            rng.choices(range(n_rows), k=rng.randint(0, 20)), dtype=np.int64
+        )
+        cand = np.asarray(
+            [rng.randint(0, 8) for _ in range(len(rows))], dtype=np.int64
+        )
+        mask = used_exclusion_mask(frontier, rows, cand, used_cols)
+        expected = [
+            int(c) not in {int(frontier[r, col]) for col in used_cols}
+            for r, c in zip(rows, cand)
+        ]
+        assert mask.tolist() == expected
+
+    def test_no_used_cols_keeps_everything(self):
+        frontier = np.asarray([[3, -1]], dtype=np.int64)
+        rows = np.zeros(4, dtype=np.int64)
+        cand = np.asarray([0, 1, 2, 3], dtype=np.int64)
+        assert used_exclusion_mask(frontier, rows, cand, ()).all()
+
+
+def _instances(count):
+    built = []
+    seed = 0
+    while len(built) < count:
+        instance = random_labeled_instance(seed)
+        seed += 1
+        if instance is not None:
+            built.append(instance)
+    return built
+
+
+def _pair(query, data, **kwargs):
+    """(batch matcher, recursive matcher) over the same instance."""
+    batch = CECIMatcher(
+        query, data, store="compact", engine="batch", **kwargs
+    )
+    recursive = CECIMatcher(
+        query, data, store="compact", engine="recursive", **kwargs
+    )
+    return batch, recursive
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_exact_order_parity(self, seed):
+        instance = random_labeled_instance(seed)
+        if instance is None:
+            pytest.skip("seed yields no connected query")
+        query, data = instance
+        batch, recursive = _pair(query, data, break_automorphisms=False)
+        assert batch.match() == recursive.match()  # order, not just set
+
+    @pytest.mark.parametrize("seed", [2, 5, 9])
+    def test_symmetry_broken_order_parity(self, seed):
+        instance = random_labeled_instance(seed)
+        if instance is None:
+            pytest.skip("seed yields no connected query")
+        query, data = instance
+        batch, recursive = _pair(query, data, break_automorphisms=True)
+        assert batch.match() == recursive.match()
+
+    @pytest.mark.parametrize("limit", [1, 2, 5, 17])
+    def test_limit_prefixes_identical(self, limit):
+        for query, data in _instances(6):
+            batch, recursive = _pair(query, data, break_automorphisms=False)
+            assert batch.match(limit=limit) == recursive.match(limit=limit)
+
+    def test_count_matches_collect(self):
+        for query, data in _instances(4):
+            matcher = CECIMatcher(query, data, store="compact", engine="batch")
+            count = matcher.count()
+            assert count == len(matcher.match())
+
+    def test_work_counters_identical(self):
+        """The batch engine must *account* like the recursion, not just
+        answer like it: calls and intersections are the same numbers."""
+        for query, data in _instances(5):
+            batch, recursive = _pair(query, data, break_automorphisms=False)
+            batch.match()
+            recursive.match()
+            assert batch.stats.recursive_calls == (
+                recursive.stats.recursive_calls
+            )
+            assert batch.stats.intersections == recursive.stats.intersections
+
+    def test_batch_counters_only_on_batch_engine(self):
+        query, data = _instances(1)[0]
+        batch, recursive = _pair(query, data)
+        batch.match()
+        recursive.match()
+        assert batch.stats.batch_blocks > 0
+        assert batch.stats.batch_rows >= batch.stats.batch_blocks
+        assert recursive.stats.batch_blocks == 0
+        assert recursive.stats.batch_rows == 0
+
+
+class TestUnitPrefixParity:
+    def _enumerators(self, query, data):
+        out = []
+        for engine in ("batch", "recursive"):
+            matcher = CECIMatcher(
+                query, data, store="compact", engine=engine,
+                break_automorphisms=False,
+            )
+            ceci = matcher.build()
+            out.append(
+                (
+                    matcher,
+                    Enumerator(
+                        ceci,
+                        symmetry=matcher.symmetry,
+                        use_intersection=True,
+                        stats=matcher.stats,
+                        engine=engine,
+                    ),
+                )
+            )
+        return out
+
+    def test_unit_streams_identical(self):
+        for query, data in _instances(4):
+            (bm, be), (rm, re_) = self._enumerators(query, data)
+            for unit in bm.work_units(beta=None):
+                got = list(be.embeddings_from_unit(unit.prefix))
+                want = list(re_.embeddings_from_unit(unit.prefix))
+                assert got == want, unit.prefix
+
+    def test_collect_from_unit_respects_limit(self):
+        query, data = _instances(1)[0]
+        (bm, be), (rm, re_) = self._enumerators(query, data)
+        for unit in bm.work_units(beta=None):
+            assert be.collect_from_unit(unit.prefix, limit=2) == (
+                re_.collect_from_unit(unit.prefix, limit=2)
+            )
+
+    def test_dead_prefix_yields_nothing(self):
+        """A prefix reusing one data vertex twice is injectivity-dead;
+        both engines must return an empty stream, not crash."""
+        query = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        data = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        (bm, be), (rm, re_) = self._enumerators(query, data)
+        dead = (0, 0)
+        assert list(be.embeddings_from_unit(dead)) == []
+        assert list(re_.embeddings_from_unit(dead)) == []
+
+    def test_overlong_prefix_rejected(self):
+        query = Graph(2, [(0, 1)])
+        data = Graph(3, [(0, 1), (1, 2)])
+        (bm, be), _ = self._enumerators(query, data)
+        with pytest.raises(ValueError):
+            list(be.embeddings_from_unit((0, 1, 2)))
+
+
+class TestBudgetTruncationParity:
+    """Budget axes must cut the batch stream at the *same embedding* as
+    the recursive engine — PartialResult semantics are part of the
+    engine contract, not an approximation."""
+
+    def _run(self, query, data, engine, budget):
+        matcher = CECIMatcher(
+            query, data, store="compact", engine=engine, budget=budget,
+            break_automorphisms=False,
+        )
+        result = matcher.run()
+        return result, matcher
+
+    @pytest.mark.parametrize("max_embeddings", [1, 3, 8])
+    def test_max_embeddings_identical_prefix(self, max_embeddings):
+        for query, data in _instances(4):
+            budget = Budget(max_embeddings=max_embeddings)
+            b_result, _ = self._run(query, data, "batch", budget)
+            r_result, _ = self._run(query, data, "recursive", budget)
+            assert list(b_result) == list(r_result)
+            assert b_result.truncated == r_result.truncated
+            assert b_result.stop_reason == r_result.stop_reason
+
+    @pytest.mark.parametrize("max_calls", [1, 5, 20, 200])
+    def test_max_calls_identical_prefix(self, max_calls):
+        for query, data in _instances(4):
+            budget = Budget(max_calls=max_calls)
+            b_result, bm = self._run(query, data, "batch", budget)
+            r_result, rm = self._run(query, data, "recursive", budget)
+            assert list(b_result) == list(r_result)
+            assert b_result.stop_reason == r_result.stop_reason
+            assert bm.stats.recursive_calls == rm.stats.recursive_calls
+
+    def test_max_memory_identical_prefix(self):
+        for query, data in _instances(3):
+            budget = Budget(max_memory_bytes=400)
+            b_result, _ = self._run(query, data, "batch", budget)
+            r_result, _ = self._run(query, data, "recursive", budget)
+            assert list(b_result) == list(r_result)
+            assert b_result.stop_reason == r_result.stop_reason
+
+
+class TestEngineSelection:
+    def test_engine_choices_exported(self):
+        assert ENGINE_CHOICES == ("auto", "recursive", "batch")
+
+    def test_auto_picks_batch_on_compact_intersection(self):
+        query, data = _instances(1)[0]
+        matcher = CECIMatcher(query, data, store="compact")
+        assert matcher.enumerator().engine == "batch"
+
+    def test_auto_stays_recursive_on_dict_store(self):
+        query, data = _instances(1)[0]
+        matcher = CECIMatcher(query, data, store="dict")
+        assert matcher.enumerator().engine == "recursive"
+
+    def test_forced_batch_on_dict_store_rejected(self):
+        query, data = _instances(1)[0]
+        with pytest.raises(ValueError):
+            CECIMatcher(query, data, store="dict", engine="batch")
+
+    def test_forced_batch_without_intersection_rejected(self):
+        query, data = _instances(1)[0]
+        with pytest.raises(ValueError):
+            CECIMatcher(
+                query, data, store="compact", engine="batch",
+                use_intersection=False,
+            )
+
+    def test_unknown_engine_rejected(self):
+        query, data = _instances(1)[0]
+        with pytest.raises(ValueError):
+            CECIMatcher(query, data, engine="vectorized")
+
+    def test_enumerator_forced_batch_on_incapable_store_rejected(self):
+        query, data = _instances(1)[0]
+        matcher = CECIMatcher(query, data, store="dict")
+        ceci = matcher.build()
+        with pytest.raises(ValueError):
+            Enumerator(
+                ceci,
+                symmetry=matcher.symmetry,
+                use_intersection=True,
+                stats=matcher.stats,
+                engine="batch",
+            )
+
+    def test_batch_capable_requires_intersection(self):
+        query, data = _instances(1)[0]
+        matcher = CECIMatcher(query, data, store="compact")
+        ceci = matcher.build()
+        assert batch_capable(ceci, use_intersection=True)
+        assert not batch_capable(ceci, use_intersection=False)
+
+
+class TestBatchEngineInternals:
+    def _engine(self, query, data):
+        matcher = CECIMatcher(
+            query, data, store="compact", break_automorphisms=False
+        )
+        ceci = matcher.build()
+        return BatchEngine(ceci, matcher.symmetry, matcher.stats), matcher
+
+    def test_root_frontier_shape(self):
+        query, data = _instances(1)[0]
+        engine, matcher = self._engine(query, data)
+        pivots = engine.ceci.pivots
+        frontier = engine.root_frontier(pivots)
+        assert frontier.shape == (len(pivots), query.num_vertices)
+        root = engine.tree.root
+        assert frontier[:, root].tolist() == [int(p) for p in pivots]
+        others = [c for c in range(query.num_vertices) if c != root]
+        if others and len(frontier):
+            assert (frontier[:, others] == -1).all()
+
+    def test_seed_frontier_dead_prefix_is_none(self):
+        query = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        data = Graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)])
+        engine, _ = self._engine(query, data)
+        assert engine.seed_frontier((0, 0)) is None
+
+    def test_blocks_stream_in_dfs_order(self):
+        query, data = _instances(1)[0]
+        engine, matcher = self._engine(query, data)
+        frontier = engine.root_frontier(engine.ceci.pivots)
+        streamed = [
+            tuple(row)
+            for block in engine.blocks(frontier, 1, [None])
+            for row in block.tolist()
+        ]
+        recursive = CECIMatcher(
+            query, data, store="compact", engine="recursive",
+            break_automorphisms=False,
+        )
+        assert streamed == recursive.match()

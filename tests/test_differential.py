@@ -30,7 +30,11 @@ Engine = Callable[[Graph, Graph], Set[Tuple[int, ...]]]
 
 
 def _ceci(
-    kernel: str, use_intersection: bool = True, store: str = "dict"
+    kernel: str,
+    use_intersection: bool = True,
+    store: str = "dict",
+    engine: str = "auto",
+    **extra,
 ) -> Engine:
     def run(query: Graph, data: Graph) -> Set[Tuple[int, ...]]:
         matcher = CECIMatcher(
@@ -40,6 +44,8 @@ def _ceci(
             use_intersection=use_intersection,
             kernel=kernel,
             store=store,
+            engine=engine,
+            **extra,
         )
         return set(matcher.match())
 
@@ -97,6 +103,30 @@ ENGINES: Dict[str, Engine] = {
     "turboiso-edge-verify-compact": _turbo(store="compact"),
     "turboiso-intersect-compact": _turbo(
         use_intersection=True, store="compact"
+    ),
+    # Set-at-a-time engine axis (DESIGN.md §12): the vectorised batch
+    # engine forced on, the recursion forced on over the same compact
+    # store (the pair the drop-in claim is about), and the batch engine
+    # under every index-shape perturbation — alternate matching orders
+    # and weakened construction pipelines change the frontier layout
+    # and candidate sets it joins over, so each is its own config.
+    "ceci-batch": _ceci("auto", store="compact", engine="batch"),
+    "ceci-recursive-compact": _ceci(
+        "auto", store="compact", engine="recursive"
+    ),
+    "ceci-batch-edge-ranked": _ceci(
+        "auto", store="compact", engine="batch",
+        order_strategy="edge_ranked",
+    ),
+    "ceci-batch-path-ranked": _ceci(
+        "auto", store="compact", engine="batch",
+        order_strategy="path_ranked",
+    ),
+    "ceci-batch-norefine": _ceci(
+        "auto", store="compact", engine="batch", use_refinement=False
+    ),
+    "ceci-batch-nocascade": _ceci(
+        "auto", store="compact", engine="batch", use_cascade=False
     ),
 }
 

@@ -42,6 +42,12 @@ MODES = [
     # cache-layer change that corrupts reuse fails here by name.
     "service-cold",
     "service-warm",
+    # Engine axis (DESIGN.md §12): the set-at-a-time batch engine
+    # forced on over the compact store, and the recursion forced on
+    # over the same store — a divergence between them names the broken
+    # instance directly.
+    "batch",
+    "recursive-compact",
 ]
 
 
@@ -139,6 +145,15 @@ INSTANCES: Dict[str, Callable[[], Tuple[Graph, Graph]]] = {
 def count_with(query: Graph, data: Graph, mode: str) -> int:
     if mode.startswith("service-"):
         return _service_count(query, data, warm=mode == "service-warm")
+    if mode in ("batch", "recursive-compact"):
+        matcher = CECIMatcher(
+            query,
+            data,
+            break_automorphisms=False,
+            store="compact",
+            engine="batch" if mode == "batch" else "recursive",
+        )
+        return matcher.count()
     matcher = CECIMatcher(
         query,
         data,

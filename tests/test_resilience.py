@@ -136,6 +136,88 @@ class TestBudgetedMatcher:
         assert found  # partial, not empty, and did not raise
 
 
+class TestBatchedBudgets:
+    """Budget semantics under the set-at-a-time engine (DESIGN.md §12):
+    blocks are charged and truncated in bulk, but the PartialResult the
+    caller sees — flags, stop reason, and the exact cut point — must be
+    indistinguishable from the recursive engine's."""
+
+    def _run(self, query, data, engine, budget=None, limit=None):
+        matcher = CECIMatcher(
+            query, data, store="compact", engine=engine, budget=budget
+        )
+        return matcher.run(limit=limit), matcher
+
+    def test_truncated_flags_under_batching(self, triangle_query, data):
+        result, matcher = self._run(
+            triangle_query, data, "batch", Budget(max_calls=40)
+        )
+        assert result.truncated and not result.exhausted
+        assert result.stop_reason == "max_calls"
+        assert matcher.stats.budget_stops == 1
+        assert matcher.stats.batch_blocks > 0  # the batch path ran
+
+    def test_unbudgeted_batch_run_is_exhausted(self, triangle_query, data):
+        result, matcher = self._run(triangle_query, data, "batch")
+        assert result.exhausted and not result.truncated
+        assert result.stop_reason is None
+        assert matcher.stats.batch_blocks > 0
+
+    def test_max_embeddings_lands_mid_block_exactly(
+        self, triangle_query, data
+    ):
+        """Leaf blocks hold many embeddings at once; the cut must land
+        on the exact embedding, and the kept rows must be the same
+        DFS prefix the unbudgeted run starts with."""
+        full, _ = self._run(triangle_query, data, "batch")
+        total = len(full)
+        for cap in (1, 10, total - 1):
+            result, _ = self._run(
+                triangle_query, data, "batch", Budget(max_embeddings=cap)
+            )
+            assert len(result) == cap
+            assert result.truncated
+            assert result.stop_reason == "max_embeddings"
+            assert list(result) == list(full)[:cap]
+
+    @pytest.mark.parametrize("max_calls", [25, 40, 100])
+    def test_budget_cut_matches_recursive_engine(
+        self, max_calls, triangle_query, data
+    ):
+        b_result, bm = self._run(
+            triangle_query, data, "batch", Budget(max_calls=max_calls)
+        )
+        r_result, rm = self._run(
+            triangle_query, data, "recursive", Budget(max_calls=max_calls)
+        )
+        assert list(b_result) == list(r_result)
+        assert b_result.truncated == r_result.truncated
+        assert b_result.stop_reason == r_result.stop_reason
+        assert bm.stats.recursive_calls == rm.stats.recursive_calls
+
+    def test_deadline_stop_loses_and_duplicates_nothing(
+        self, triangle_query, data
+    ):
+        """A deadline can expire anywhere inside the block loop; the
+        partial answer must still be a clean prefix of the unbudgeted
+        stream — no row committed twice, none silently dropped."""
+        full, _ = self._run(triangle_query, data, "batch")
+        result, _ = self._run(
+            triangle_query, data, "batch", Budget(deadline_seconds=1e-9)
+        )
+        assert result.truncated and result.stop_reason == "deadline"
+        got = list(result)
+        assert len(set(got)) == len(got)
+        assert got == list(full)[: len(got)]
+
+    def test_limit_cut_mid_block_is_not_truncated(
+        self, triangle_query, data
+    ):
+        result, _ = self._run(triangle_query, data, "batch", limit=7)
+        assert len(result) == 7
+        assert not result.truncated and not result.exhausted
+
+
 class TestPartialResult:
     def test_container_protocol(self):
         result = PartialResult([(0, 1), (2, 3)])

@@ -64,13 +64,18 @@ TRIANGLE_Y = Graph(3, [(0, 1), (1, 2), (0, 2)], labels=["y", "y", "y"])
 
 def _enumerate_with(query: Graph, data: Graph, cache) -> Set[Tuple]:
     """Full embedding set from a fresh index but an *injected* memo
-    cache — exactly how the service wires shared pools into workers."""
+    cache — exactly how the service wires shared pools into workers.
+
+    Pinned to the recursive engine: the memo cache (and therefore the
+    key-collision bug this file regresses) lives on the recursive
+    TE∩NTE path — the batch engine never consults it."""
     store = CECIMatcher(query, data, break_automorphisms=False).build()
     enumerator = Enumerator(
         store,
         symmetry=SymmetryBreaker(query, enabled=False),
         use_intersection=True,
         cache=cache,
+        engine="recursive",
     )
     return {tuple(int(v) for v in e) for e in enumerator.collect()}
 
