@@ -19,6 +19,11 @@
     python -m repro serve    DATA [--workers K] [--max-pending N]
                                   [--index-capacity N] [--spill-dir DIR]
                                   [--metrics {json,prom}]
+                                  [--metrics-port PORT] [--flight-records N]
+                                  [--slow-ms MS] [--slow-log FILE]
+                                  [--history FILE] [--trace FILE.jsonl]
+    python -m repro flight   FILE [--request ID] [--json]
+    python -m repro explain  FILE [--request ID] [--json]
     python -m repro bench-service [--data DATA] [--queries N]
                                   [--requests N] [--out BENCH_service.json]
 
@@ -52,6 +57,15 @@ heartbeat line (calls/s, embeddings/s, budget left, cardinality-bound
 ETA) on stderr during long enumerations.  ``--json`` (match/count)
 emits one machine-readable object (``"schema": 1``) on stdout and
 silences the stderr counter lines.
+
+Service telemetry (DESIGN.md §13): ``serve`` retains per-request
+*flight records* (``--flight-records``, dumped in-band with
+``{"op": "flight"}`` and rendered by ``repro flight``), exposes the
+live metrics registry over HTTP (``--metrics-port``, Prometheus text at
+``/metrics``), logs requests slower than ``--slow-ms`` as flight-shaped
+JSONL (``--slow-log``, rendered plan-first by ``repro explain``), and
+appends one features+costs record per request to a size-rotated
+query-history store (``--history``).
 """
 
 from __future__ import annotations
@@ -341,7 +355,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _service_from(args: argparse.Namespace, data: Graph):
+def _service_from(args: argparse.Namespace, data: Graph, tracer=None):
     from .resilience.recovery import RetryPolicy
     from .service import MatchService
 
@@ -362,6 +376,14 @@ def _service_from(args: argparse.Namespace, data: Graph):
         deadline_seconds=args.deadline,
         retry_policy=retry_policy,
         spill_max_bytes=args.spill_max_bytes,
+        # Telemetry knobs (serve wires them; bench-service leaves the
+        # defaults, i.e. telemetry fully off — the measured baseline).
+        flight_records=getattr(args, "flight_records", 0) or 0,
+        history=getattr(args, "history", None),
+        slow_ms=getattr(args, "slow_ms", None),
+        slow_log=getattr(args, "slow_log", None),
+        fold_request_stats=bool(getattr(args, "fold_request_stats", False)),
+        tracer=tracer,
     )
 
 
@@ -376,13 +398,35 @@ def _emit_service_metrics(args: argparse.Namespace, service) -> None:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from .observability import MetricsExporter
     from .service.server import serve
 
     data = _load_graph(args.data)
-    with _service_from(args, data) as service:
-        handled = serve(service, sys.stdin, sys.stdout)
-        print(f"# served {handled} requests", file=sys.stderr)
-        _emit_service_metrics(args, service)
+    if args.metrics_port is not None:
+        # A scrape endpoint without the per-request counter folds would
+        # only ever show admission/cache/worker counters; the point of
+        # the endpoint is the full registry.
+        args.fold_request_stats = True
+    tracer = Tracer(args.trace) if getattr(args, "trace", None) else None
+    exporter = None
+    try:
+        with _service_from(args, data, tracer=tracer) as service:
+            if args.metrics_port is not None:
+                # Scrapes merge the live registry and stamp the
+                # instantaneous gauges (in-flight, queue depth, healthy
+                # workers) at request time.
+                exporter = MetricsExporter(
+                    service.metrics_snapshot, port=args.metrics_port
+                )
+                print(f"# metrics: {exporter.url}", file=sys.stderr)
+            handled = serve(service, sys.stdin, sys.stdout)
+            print(f"# served {handled} requests", file=sys.stderr)
+            _emit_service_metrics(args, service)
+    finally:
+        if exporter is not None:
+            exporter.close()
+        if tracer is not None:
+            tracer.close()
     return 0
 
 
@@ -483,6 +527,62 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     try:
         print(summarize_trace(args.file, as_json=args.json))
     except (OSError, TraceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _load_flight_file(args: argparse.Namespace):
+    """Shared loader for ``repro flight`` / ``repro explain``: read +
+    validate the records, apply the ``--request`` filter.  Returns the
+    record list, or an exit code on error."""
+    from .observability import load_flight_records, validate_flight_record
+
+    try:
+        records = load_flight_records(args.file)
+        for record in records:
+            validate_flight_record(record)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.request is not None:
+        records = [
+            record for record in records
+            if record.get("request_id") == args.request
+        ]
+    if not records:
+        which = (
+            f"no flight record for request {args.request}"
+            if args.request is not None
+            else "no flight records"
+        )
+        print(f"error: {which} in {args.file}", file=sys.stderr)
+        return 1
+    return records
+
+
+def _cmd_flight(args: argparse.Namespace) -> int:
+    from .observability import render_flight
+
+    return _print_flight_records(args, render_flight)
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .observability import render_explain
+
+    return _print_flight_records(args, render_explain)
+
+
+def _print_flight_records(args: argparse.Namespace, render) -> int:
+    records = _load_flight_file(args)
+    if isinstance(records, int):
+        return records
+    try:
+        if args.json:
+            print(json.dumps(records, indent=2))
+        else:
+            print("\n\n".join(render(record) for record in records))
+    except OSError as exc:  # e.g. a downstream `head` closing the pipe
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return 0
@@ -634,6 +734,41 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("data", help="data graph file")
     add_service_args(p_serve)
+    p_serve.add_argument("--metrics-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve the live metrics registry over HTTP "
+                              "on 127.0.0.1:PORT (/metrics Prometheus "
+                              "text, /metrics.json, /healthz; 0 picks an "
+                              "ephemeral port, printed to stderr)")
+    p_serve.add_argument("--flight-records", type=int, default=256,
+                         metavar="N",
+                         help="retain the last N per-request flight "
+                              "records, dumpable in-band with "
+                              "{\"op\": \"flight\"} and rendered by "
+                              "'repro flight' (0 disables; default 256)")
+    p_serve.add_argument("--slow-ms", type=float, default=None,
+                         metavar="MS",
+                         help="log requests slower than MS wall "
+                              "milliseconds as JSONL flight records "
+                              "(render with 'repro explain')")
+    p_serve.add_argument("--slow-log", default=None, metavar="FILE",
+                         help="slow-query log destination (default "
+                              "stderr is NOT used — without this flag "
+                              "slow records are dropped)")
+    p_serve.add_argument("--history", default=None, metavar="FILE",
+                         help="append one query-history record per "
+                              "request (features + observed phase costs) "
+                              "to this size-rotated JSONL store")
+    p_serve.add_argument("--trace", default=None, metavar="FILE.jsonl",
+                         help="write service phase events (queue/build/"
+                              "enumerate, request-tagged) as a trace "
+                              "file for 'repro trace summarize'")
+    p_serve.add_argument("--fold-request-stats", action="store_true",
+                         help="continuously fold each request's counter "
+                              "registry into the service-wide metrics "
+                              "(adds per-request overhead; implied "
+                              "whenever --metrics-port wants rich "
+                              "counters)")
     p_serve.set_defaults(fn=_cmd_serve)
 
     p_bench = sub.add_parser(
@@ -691,6 +826,32 @@ def _build_parser() -> argparse.ArgumentParser:
     p_summ.add_argument("--json", action="store_true",
                         help="emit the summary as JSON instead of a table")
     p_summ.set_defaults(fn=_cmd_trace_summarize)
+
+    p_flight = sub.add_parser(
+        "flight",
+        help="render per-request flight records (lifecycle timeline, "
+             "plan facts, phase timings) from an {\"op\": \"flight\"} "
+             "dump or a slow-query log",
+    )
+    p_flight.add_argument("file", help="flight dump / slow-log JSONL file")
+    p_flight.add_argument("--request", type=int, default=None, metavar="ID",
+                          help="only the record(s) of this request id")
+    p_flight.add_argument("--json", action="store_true",
+                          help="emit the validated records as JSON")
+    p_flight.set_defaults(fn=_cmd_flight)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="plan-first rendering of flight records — why a (slow) "
+             "request cost what it did",
+    )
+    p_explain.add_argument("file", help="flight dump / slow-log JSONL file")
+    p_explain.add_argument("--request", type=int, default=None,
+                           metavar="ID",
+                           help="only the record(s) of this request id")
+    p_explain.add_argument("--json", action="store_true",
+                           help="emit the validated records as JSON")
+    p_explain.set_defaults(fn=_cmd_explain)
 
     p_gen = sub.add_parser("generate", help="generate a synthetic graph")
     p_gen.add_argument("kind", choices=["powerlaw", "kronecker", "erdos"])

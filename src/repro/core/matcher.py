@@ -142,6 +142,12 @@ class CECIMatcher:
         self.progress = progress
         self._ceci: Optional[CECIStore] = None
         self._tree: Optional[QueryTree] = None
+        #: Plan facts recorded during :meth:`build` for telemetry:
+        #: the chosen root's selection score (|initial candidates| /
+        #: degree) and the per-vertex initial candidate counts the root
+        #: cost function scanned.  ``None``/empty until built.
+        self.root_score: Optional[float] = None
+        self.initial_candidate_counts: List[int] = []
 
     # ------------------------------------------------------------------
     # Pipeline
@@ -170,6 +176,8 @@ class CECIMatcher:
             self.query, root, self.order_strategy, candidate_counts
         )
         self._tree = QueryTree(self.query, root, order)
+        self.root_score = best_cost
+        self.initial_candidate_counts = candidate_counts
         self._record_phase("preprocess", started)
 
         started = time.perf_counter()
@@ -215,6 +223,22 @@ class CECIMatcher:
         self.build()
         assert self._tree is not None
         return self._tree
+
+    def plan_facts(self) -> dict:
+        """The optimizer's decisions for this query as a JSON-ready
+        dict (builds on first access): root + selection score, matching
+        order, per-level candidate cardinalities and the deterministic
+        cardinality bound.  This is the ``plan`` object the service's
+        flight recorder and slow-query explain embed."""
+        from .estimate import plan_facts  # circular at module level
+
+        facts = plan_facts(self.build(), self.query)
+        facts["order_strategy"] = self.order_strategy
+        if self.root_score is not None:
+            facts["root_score"] = self.root_score
+        if self.initial_candidate_counts:
+            facts["initial_candidates"] = list(self.initial_candidate_counts)
+        return facts
 
     def enumerator(
         self, tracker: Optional[BudgetTracker] = None

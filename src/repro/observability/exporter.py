@@ -1,0 +1,112 @@
+"""Background HTTP exporter for the live service metrics.
+
+A scrape-based monitoring stack (Prometheus and its lookalikes) wants a
+plain-text HTTP endpoint it can poll; the service wants to keep its
+stdin/stdout JSON-lines protocol uncluttered.  :class:`MetricsExporter`
+bridges the two with the standard library only: a
+``ThreadingHTTPServer`` on a daemon thread serving
+
+``GET /metrics``
+    Prometheus text exposition format
+    (:meth:`~repro.observability.metrics.MetricsRegistry.to_prom`).
+``GET /metrics.json``
+    The same registry as a JSON object — for drivers that want numbers
+    without a prom parser.
+``GET /healthz``
+    ``ok`` (200) — a liveness probe that costs no registry snapshot.
+
+The exporter never holds a registry: it calls ``provider()`` on every
+scrape, so the numbers are as live as the service can make them (the
+service's provider folds in scrape-time gauges like queue depth and
+healthy-worker count).  A provider exception yields a 500 with the
+error text instead of killing the serving thread.
+
+``port=0`` binds an ephemeral port (the default for tests); the bound
+port is available as :attr:`MetricsExporter.port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsExporter"]
+
+
+class MetricsExporter:
+    """Serve a metrics registry over HTTP from a daemon thread."""
+
+    def __init__(
+        self,
+        provider: Callable[[], MetricsRegistry],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args) -> None:  # silence stderr spam
+                pass
+
+            def do_GET(self) -> None:
+                if self.path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8", "ok\n")
+                    return
+                if self.path not in ("/metrics", "/metrics.json"):
+                    self._reply(404, "text/plain; charset=utf-8", "not found\n")
+                    return
+                try:
+                    registry = exporter.provider()
+                    if self.path == "/metrics.json":
+                        body = json.dumps(registry.as_dict(), sort_keys=True)
+                        content_type = "application/json"
+                    else:
+                        body = registry.to_prom()
+                        content_type = (
+                            "text/plain; version=0.0.4; charset=utf-8"
+                        )
+                except Exception as exc:  # keep the serving thread alive
+                    self._reply(
+                        500, "text/plain; charset=utf-8", f"error: {exc}\n"
+                    )
+                    return
+                self._reply(200, content_type, body)
+
+            def _reply(self, code: int, content_type: str, body: str) -> None:
+                data = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(data)))
+                self.end_headers()
+                self.wfile.write(data)
+
+        self.provider = provider
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -75,6 +75,14 @@ class MetricSpec:
         )
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash first, then double quote and line feed."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _merged_summary(a: Summary, b: Summary) -> Summary:
     return {
         "count": a["count"] + b["count"],
@@ -208,7 +216,10 @@ class MetricsRegistry:
 
         Returns ``self`` so call sites can chain.
         """
-        for name, theirs in other._values.items():
+        # Iterate over list/dict copies: a live service registry may be
+        # incremented by worker threads while a metrics scrape merges it
+        # into a snapshot, and dicts must not resize mid-iteration.
+        for name, theirs in list(other._values.items()):
             spec = self.register(other.spec(name))
             if spec.kind == "histogram":
                 mine = self._values.get(name)
@@ -218,7 +229,7 @@ class MetricsRegistry:
                 )
             elif spec.labeled:
                 family = self._values.setdefault(name, {})
-                for label, value in theirs.items():
+                for label, value in list(theirs.items()):
                     if spec.merge == "max":
                         family[label] = max(family.get(label, value), value)
                     else:
@@ -245,7 +256,12 @@ class MetricsRegistry:
         return {"schema": METRICS_SCHEMA, "metrics": metrics}
 
     def to_prom(self, prefix: str = "repro_") -> str:
-        """Prometheus text exposition of every populated metric."""
+        """Prometheus text exposition of every populated metric.
+
+        Histogram summaries become the four series a summary type
+        implies — ``_count``/``_sum`` plus ``_min``/``_max`` gauges —
+        and label values are escaped per the exposition format
+        (backslash, double quote, newline)."""
         lines = []
         for name in sorted(self._values):
             spec = self.spec(name)
@@ -258,13 +274,14 @@ class MetricsRegistry:
                 lines.append(f"# TYPE {metric} summary")
                 lines.append(f"{metric}_count {value['count']:g}")
                 lines.append(f"{metric}_sum {value['sum']:g}")
-                lines.append(f'{metric}{{q="min"}} {value["min"]:g}')
-                lines.append(f'{metric}{{q="max"}} {value["max"]:g}')
+                lines.append(f"{metric}_min {value['min']:g}")
+                lines.append(f"{metric}_max {value['max']:g}")
             elif spec.labeled:
                 lines.append(f"# TYPE {metric} {kind}")
                 for label in sorted(value):
+                    escaped = _escape_label_value(str(label))
                     lines.append(
-                        f'{metric}{{{spec.label_name}="{label}"}} '
+                        f'{metric}{{{spec.label_name}="{escaped}"}} '
                         f"{value[label]:g}"
                     )
             else:

@@ -9,6 +9,10 @@ decomposition from a trace produced with ``--trace``:
 * **per-worker / per-machine breakdown** — the same records grouped by
   their ``machine`` / ``worker`` tags, reproducing the per-executor
   bars;
+* **per-request breakdown** — service traces stamp every phase with the
+  owning request's id (``request=<id>``); those group into one phase
+  table per request, so a multi-query service trace reads as
+  per-request stories instead of one blended stream;
 * **span accounting** — counts and summed durations of the nested
   ``b``/``e`` spans (per-cluster, per-filter-level, ...), plus sampled
   kernel instants.
@@ -57,6 +61,9 @@ class TraceSummary:
         self.phases: Dict[str, Dict[str, float]] = {}
         #: (machine, worker) -> phase name -> seconds
         self.executors: Dict[Tuple, Dict[str, float]] = {}
+        #: request id -> phase name -> seconds (phases carrying a
+        #: ``request`` tag, i.e. service traces).
+        self.requests: Dict[object, Dict[str, float]] = {}
         #: span name -> {"count": n, "seconds": total}
         self.spans: Dict[str, Dict[str, float]] = {}
         #: kernel name -> sampled instant count
@@ -73,6 +80,10 @@ class TraceSummary:
         executor = (event.get("machine"), event.get("worker"))
         per_phase = self.executors.setdefault(executor, {})
         per_phase[name] = per_phase.get(name, 0.0) + seconds
+        request = event.get("request")
+        if request is not None:
+            per_request = self.requests.setdefault(request, {})
+            per_request[name] = per_request.get(name, 0.0) + seconds
 
     def add_span(self, name: str, seconds: float) -> None:
         entry = self.spans.setdefault(name, {"count": 0, "seconds": 0.0})
@@ -100,6 +111,12 @@ class TraceSummary:
                 _executor_label(executor): dict(per_phase)
                 for executor, per_phase in sorted(
                     self.executors.items(), key=lambda kv: str(kv[0])
+                )
+            },
+            "requests": {
+                str(request): dict(per_phase)
+                for request, per_phase in sorted(
+                    self.requests.items(), key=lambda kv: str(kv[0])
                 )
             },
             "spans": {
@@ -237,6 +254,30 @@ def render_summary(summary: TraceSummary) -> str:
             label = _executor_label(executor)
             for name, seconds in sorted(per_phase.items()):
                 lines.append(f"{label:<22} {name:<14} {seconds:>12.6f}")
+
+    if summary.requests:
+        lines.append("")
+        lines.append("per-request breakdown")
+        lines.append(
+            f"{'request':<12} {'phase':<14} {'seconds':>12} {'share':>7}"
+        )
+        for request, per_phase in sorted(
+            summary.requests.items(), key=lambda kv: str(kv[0])
+        ):
+            request_total = sum(per_phase.values())
+            for name, seconds in sorted(
+                per_phase.items(), key=lambda kv: -kv[1]
+            ):
+                share = (
+                    100.0 * seconds / request_total if request_total else 0.0
+                )
+                lines.append(
+                    f"{str(request):<12} {name:<14} {seconds:>12.6f} "
+                    f"{share:>6.1f}%"
+                )
+            lines.append(
+                f"{str(request):<12} {'total':<14} {request_total:>12.6f}"
+            )
 
     if summary.spans:
         lines.append("")

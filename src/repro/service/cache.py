@@ -178,6 +178,7 @@ class IndexCache:
         self.warm_hits = 0
         self.misses = 0
         self.coalesced = 0
+        self.transplants = 0
         self.evictions = 0
         self.spills = 0
         self.spill_corrupt = 0
@@ -287,6 +288,7 @@ class IndexCache:
             return None
         if all(sigma[u] == u for u in range(rep.num_vertices)):
             return entry.store
+        self._count("transplants")
         return transplant_store(entry.store, query, sigma)
 
     # ------------------------------------------------------------------
@@ -424,6 +426,7 @@ class IndexCache:
             "warm_hits": self.warm_hits,
             "coalesced": self.coalesced,
             "misses": self.misses,
+            "transplants": self.transplants,
             "evictions": self.evictions,
             "spills": self.spills,
             "spill_corrupt": self.spill_corrupt,

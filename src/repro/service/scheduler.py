@@ -96,6 +96,12 @@ class FairTaskQueue(Generic[T]):
         self._ready = threading.Condition(self._lock)
         self._seq = itertools.count()
         self._closed = False
+        #: Lifetime telemetry (guarded by ``_lock``): tasks enqueued by
+        #: kind and tasks handed to workers — the numbers behind the
+        #: service's scheduler-depth gauges.
+        self._pushed_solo = 0
+        self._pushed_units = 0
+        self._popped = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -115,6 +121,10 @@ class FairTaskQueue(Generic[T]):
             if self._closed:
                 raise RuntimeError("task queue is closed")
             heapq.heappush(self._heap, (vtime, next(self._seq), item))
+            if vtime <= SOLO_VTIME:
+                self._pushed_solo += 1
+            else:
+                self._pushed_units += 1
             self._ready.notify()
 
     def push_solo(self, item: T) -> None:
@@ -136,6 +146,7 @@ class FairTaskQueue(Generic[T]):
             for item, workload in zip(items, workloads):
                 vtime += float(workload) / total
                 heapq.heappush(self._heap, (vtime, next(self._seq), item))
+            self._pushed_units += len(items)
             self._ready.notify_all()
 
     def pop(self, timeout: Optional[float] = None) -> Optional[T]:
@@ -147,7 +158,20 @@ class FairTaskQueue(Generic[T]):
                     return None
                 if not self._ready.wait(timeout=timeout):
                     return None
+            self._popped += 1
             return heapq.heappop(self._heap)[2]
+
+    def snapshot(self) -> dict:
+        """Queue telemetry: current depth plus lifetime push/pop
+        counters, one consistent read."""
+        with self._lock:
+            return {
+                "depth": len(self._heap),
+                "pushed_solo": self._pushed_solo,
+                "pushed_units": self._pushed_units,
+                "popped": self._popped,
+                "closed": self._closed,
+            }
 
     def close(self) -> None:
         """No more pushes; blocked ``pop`` calls drain then return

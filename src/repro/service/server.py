@@ -16,9 +16,18 @@ Request lines::
 (a tripped budget returns a ``truncated`` prefix);
 ``service_deadline_seconds`` is the end-to-end service deadline covering
 queue wait + index build + matching (an expired one returns ``timeout``
-with no embeddings).  Two control lines exist: ``{"cmd": "metrics"}``
-prints the service's metrics/cache snapshot, ``{"cmd": "shutdown"}``
-drains and stops the loop (end-of-input does the same).
+with no embeddings).  Control lines use either the legacy ``cmd`` key or
+the ``op`` key (one verb per line, same vocabulary):
+
+* ``{"cmd": "metrics"}`` — drain, then print the metrics/cache
+  snapshot (the historical, deterministic form);
+* ``{"op": "metrics"}`` — the *live* snapshot, without draining:
+  scrape-time gauges (in-flight, queue depth, healthy workers) reflect
+  this instant, which is the point of an in-band health query;
+* ``{"op": "flight", "id": 7, "limit": 10}`` — dump retained flight
+  records (both filters optional; requires ``--flight-records``);
+* ``{"cmd"|"op": "shutdown"}`` — drain and stop the loop
+  (end-of-input does the same).
 
 Response lines mirror :class:`~repro.service.request.MatchResponse`::
 
@@ -102,6 +111,8 @@ def response_to_json(
         "service_seconds": response.service_seconds,
         "retries": response.retries,
         "error": response.error,
+        # Build-vs-enumerate time, client-visible without server logs.
+        "phase_seconds": dict(response.stats.phase_seconds),
     }
     if include_embeddings:
         out["embeddings"] = [
@@ -127,12 +138,44 @@ def serve(
         except json.JSONDecodeError as exc:
             _emit(out_stream, {"status": Status.FAILED, "error": str(exc)})
             continue
-        command = line.get("cmd") if isinstance(line, dict) else None
+        command = None
+        key = None
+        if isinstance(line, dict):
+            for key in ("cmd", "op"):
+                if line.get(key) is not None:
+                    command = line[key]
+                    break
         if command == "shutdown":
             break
         if command == "metrics":
-            service.drain()
-            _emit(out_stream, {"cmd": "metrics", **service.snapshot()})
+            if key == "cmd":
+                # Legacy form: deterministic post-drain snapshot.
+                service.drain()
+            _emit(out_stream, {key: "metrics", **service.snapshot()})
+            continue
+        if command == "flight":
+            records = service.flight_records(
+                request_id=(
+                    int(line["id"]) if line.get("id") is not None else None
+                ),
+                limit=(
+                    int(line["limit"])
+                    if line.get("limit") is not None
+                    else None
+                ),
+            )
+            payload: Dict = {
+                key: "flight",
+                "enabled": service.flight is not None,
+                "count": len(records),
+                "records": records,
+            }
+            if service.flight is None:
+                payload["error"] = (
+                    "flight recorder disabled (start the service with "
+                    "flight_records > 0 / --flight-records)"
+                )
+            _emit(out_stream, payload)
             continue
         try:
             request = request_from_json(line)

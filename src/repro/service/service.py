@@ -59,20 +59,26 @@ first-attempt ``OK`` answer.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import json
 import random
 import threading
 import time
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, TextIO, Tuple, Union
 
 from ..core.automorphism import SymmetryBreaker
 from ..core.enumeration import Embedding, Enumerator
+from ..core.estimate import plan_facts
 from ..core.matcher import CECIMatcher
 from ..core.stats import MatchStats
 from ..core.store import CompactCECI
 from ..graph import Graph
 from ..kernels import DEFAULT_CACHE_SIZE, IntersectionCache
+from ..observability.flight import FLIGHT_SCHEMA, FlightRecorder
+from ..observability.history import QueryHistory
 from ..observability.metrics import MetricSpec, MetricsRegistry
+from ..observability.tracer import NULL_TRACER
 from ..parallel.scheduling import dynamic_schedule
 from ..resilience.budget import BudgetExhausted, BudgetTracker
 from ..resilience.faults import FaultPlan, InjectedBuildError, InjectedCrash
@@ -157,6 +163,38 @@ def service_metric_specs() -> Tuple[MetricSpec, ...]:
             help="Spill files deleted by the byte-bound LRU.",
         ),
         MetricSpec(
+            "service_index_cache_transplants",
+            help="Cache hits re-targeted onto an isomorphic-but-"
+                 "relabeled query via sigma transplant.",
+        ),
+        MetricSpec(
+            "service_slow_requests",
+            help="Requests whose end-to-end latency exceeded the "
+                 "slow-query threshold.",
+        ),
+        MetricSpec(
+            "service_history_records",
+            help="Records appended to the query-history store.",
+        ),
+        MetricSpec(
+            "service_inflight",
+            kind="gauge",
+            merge="max",
+            help="Requests currently in flight (scrape-time).",
+        ),
+        MetricSpec(
+            "service_task_queue_depth",
+            kind="gauge",
+            merge="max",
+            help="Tasks waiting on the fair queue (scrape-time).",
+        ),
+        MetricSpec(
+            "service_healthy_workers",
+            kind="gauge",
+            merge="max",
+            help="Pool slots holding a live thread (scrape-time).",
+        ),
+        MetricSpec(
             "service_queue_depth_peak",
             kind="gauge",
             merge="max",
@@ -191,6 +229,20 @@ def service_metric_specs() -> Tuple[MetricSpec, ...]:
             help="Index build time paid by cache misses.",
         ),
     )
+
+
+def _stat_counters(stats: MatchStats) -> Dict[str, int]:
+    """The non-zero integer counters of one request's stats — the
+    ``counters`` object flight records and history records carry
+    (``phase_seconds`` travels separately as floats)."""
+    out: Dict[str, int] = {}
+    for field in dataclasses.fields(stats):
+        if field.name == "phase_seconds":
+            continue
+        value = getattr(stats, field.name)
+        if value:
+            out[field.name] = value
+    return out
 
 
 class PendingMatch:
@@ -259,6 +311,7 @@ class _Job:
         "symmetry", "store", "cache_tag", "namespace", "tracker", "stats",
         "parts", "remaining", "truncated", "stop_reason", "error",
         "error_kind", "retries", "cancelled", "done", "lock",
+        "flight", "plan",
     )
 
     def __init__(
@@ -289,6 +342,10 @@ class _Job:
         self.error_kind: Optional[str] = None
         self.retries = 0
         self.cancelled = False
+        #: Telemetry (optional): this request's flight record in the
+        #: service's ring, and the plan facts captured at prepare time.
+        self.flight = None
+        self.plan: Optional[Dict] = None
         #: First-wins finalization flag, written under ``lock``: the
         #: watchdog, the deadline checks and the normal completion path
         #: can all race to resolve one job.
@@ -354,6 +411,12 @@ class MatchService:
         watchdog_interval: float = 0.05,
         fault_plan: Optional[FaultPlan] = None,
         spill_max_bytes: Optional[int] = None,
+        flight_records: int = 0,
+        history: Optional[Union[QueryHistory, str]] = None,
+        slow_ms: Optional[float] = None,
+        slow_log: Optional[Union[str, TextIO]] = None,
+        fold_request_stats: bool = False,
+        tracer=None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -365,6 +428,10 @@ class MatchService:
             raise ValueError("stall_after_seconds must be positive")
         if watchdog_interval <= 0:
             raise ValueError("watchdog_interval must be positive")
+        if flight_records < 0:
+            raise ValueError("flight_records must be >= 0")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be >= 0")
         self.data = data
         self.workers = workers
         self.max_pending = max_pending
@@ -383,6 +450,22 @@ class MatchService:
         )
         for spec in service_metric_specs():
             self.metrics.register(spec)
+        #: Telemetry: all off by default so a bare service pays only
+        #: ``is None`` checks on the request path (the <3% overhead
+        #: budget in DESIGN.md §13); ``repro serve`` turns them on.
+        self.flight = (
+            FlightRecorder(flight_records) if flight_records > 0 else None
+        )
+        self._owns_history = isinstance(history, str)
+        self.history = QueryHistory(history) if isinstance(history, str) else history
+        self.slow_ms = slow_ms
+        self.fold_request_stats = fold_request_stats
+        self.tracer = NULL_TRACER if tracer is None else tracer
+        self._slow_log_path = slow_log if isinstance(slow_log, str) else None
+        self._slow_stream = slow_log if not isinstance(slow_log, str) else None
+        self._slow_handle: Optional[TextIO] = None
+        self._slow_lock = threading.Lock()
+        self._fold_lock = threading.Lock()
         self.index_cache = IndexCache(
             data,
             capacity=index_capacity,
@@ -458,13 +541,22 @@ class MatchService:
                 self.metrics.inc(
                     "service_requests_total", label=Status.REJECTED
                 )
+                error = (
+                    f"queue depth {self._inflight} at limit "
+                    f"{self.max_pending}"
+                )
+                if self.flight is not None:
+                    record = self.flight.begin(request.request_id)
+                    record.event(
+                        "admit", outcome="rejected",
+                        queue_depth=self._inflight,
+                    )
+                    record.event("final", status=Status.REJECTED)
+                    record.finish(status=Status.REJECTED, error=error)
                 pending._resolve(MatchResponse(
                     request_id=request.request_id,
                     status=Status.REJECTED,
-                    error=(
-                        f"queue depth {self._inflight} at limit "
-                        f"{self.max_pending}"
-                    ),
+                    error=error,
                 ))
                 return pending
             self._inflight += 1
@@ -472,6 +564,12 @@ class MatchService:
                 self._peak = self._inflight
                 self.metrics.set_gauge("service_queue_depth_peak", self._peak)
             job = _Job(request, pending, now)
+            if self.flight is not None:
+                job.flight = self.flight.begin(request.request_id)
+                job.flight.event(
+                    "admit", outcome="admitted",
+                    queue_depth=self._inflight, solo=request.solo,
+                )
             deadline = request.deadline_seconds
             if deadline is None:
                 deadline = self.deadline_seconds
@@ -562,6 +660,12 @@ class MatchService:
             and not self._watchdog.is_alive()
             and not any(thread.is_alive() for thread in pool)
         )
+        with self._slow_lock:
+            if self._slow_handle is not None:
+                self._slow_handle.close()
+                self._slow_handle = None
+        if self._owns_history and self.history is not None:
+            self.history.close()
         self._close_done.set()
         return drained and stopped
 
@@ -577,16 +681,49 @@ class MatchService:
         with self._pool_lock:
             return sum(1 for thread in self._pool if thread.is_alive())
 
+    def metrics_snapshot(self) -> MetricsRegistry:
+        """A point-in-time copy of the service registry with scrape-time
+        gauges folded in (in-flight requests, fair-queue depth, healthy
+        workers) — what the HTTP exporter and the ``{"op": "metrics"}``
+        in-band query serve."""
+        registry = MetricsRegistry(service_metric_specs())
+        with self._fold_lock:
+            registry.merge(self.metrics)
+        with self._state_lock:
+            inflight = self._inflight
+        registry.set_gauge("service_inflight", inflight)
+        registry.set_gauge("service_task_queue_depth", len(self._tasks))
+        registry.set_gauge(
+            "service_healthy_workers", self.healthy_workers()
+        )
+        return registry
+
     def snapshot(self) -> Dict[str, object]:
-        """Registry + cache tiers as one JSON-friendly dict."""
+        """Registry + cache tiers + scheduler as one JSON-friendly dict."""
         out: Dict[str, object] = {
-            "metrics": self.metrics.as_dict(),
+            "metrics": self.metrics_snapshot().as_dict(),
             "index_cache": self.index_cache.snapshot(),
+            "scheduler": self._tasks.snapshot(),
             "healthy_workers": self.healthy_workers(),
         }
         if self.intersection_pool is not None:
             out["intersection_pool"] = self.intersection_pool.snapshot()
+        if self.flight is not None:
+            out["flight_records"] = len(self.flight)
+        if self.history is not None:
+            out["history"] = self.history.snapshot()
         return out
+
+    def flight_records(
+        self,
+        request_id: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Dict]:
+        """Retained flight records (empty when the recorder is off) —
+        what the ``{"op": "flight"}`` control message dumps."""
+        if self.flight is None:
+            return []
+        return self.flight.records(request_id=request_id, limit=limit)
 
     # ------------------------------------------------------------------
     # Watchdog thread: dead/wedged worker detection and respawn
@@ -649,12 +786,20 @@ class MatchService:
                     self.metrics.inc("service_worker_respawns")
                     stalled.append(beat)
         for beat in crashed:
+            if beat.job.flight is not None:
+                beat.job.flight.event(
+                    "worker_crash", slot=beat.slot, unit=beat.index
+                )
             self._fail_unit(
                 beat.job, beat.index,
                 f"worker died holding the request (slot {beat.slot})",
                 kind="crash",
             )
         for beat in stalled:
+            if beat.job.flight is not None:
+                beat.job.flight.event(
+                    "worker_stall", slot=beat.slot, unit=beat.index
+                )
             self._finalize(
                 beat.job, [], Status.TIMEOUT,
                 error=(
@@ -699,6 +844,11 @@ class MatchService:
             job.retries += 1
             self.metrics.inc("service_retries_total")
             delay = policy.delay(job.retries, self._retry_rng)
+            if job.flight is not None:
+                job.flight.event(
+                    "retry", attempt=job.retries, kind=kind,
+                    delay_seconds=round(delay, 6),
+                )
             if delay <= 0.0:
                 self._requeue(job)
             else:
@@ -803,6 +953,18 @@ class MatchService:
         its budget clock, and build its symmetry breaker."""
         request = job.request
         job.prepared_at = time.perf_counter()
+        if job.flight is not None:
+            job.flight.event(
+                "prepare",
+                queue_seconds=round(job.prepared_at - job.submitted_at, 6),
+                attempt=job.retries,
+            )
+        if self.tracer.enabled:
+            self.tracer.phase(
+                "queue", job.submitted_at,
+                job.prepared_at - job.submitted_at,
+                request=request.request_id,
+            )
         if request.budget is not None and not request.budget.unlimited:
             job.tracker = request.budget.tracker().start()
         job.symmetry = SymmetryBreaker(
@@ -818,7 +980,7 @@ class MatchService:
                 and self.fault_plan.build_fails_at(build_index)
             ):
                 raise InjectedBuildError(build_index)
-            matcher = self._fresh_matcher(request.query)
+            matcher = self._fresh_matcher(request.query, request.request_id)
             store = matcher.build()
             build_stats.append(matcher.stats)
             assert isinstance(store, CompactCECI)
@@ -832,7 +994,7 @@ class MatchService:
             # Canonical-signature collision (astronomically rare): the
             # cached representative is not actually isomorphic to this
             # query.  Build privately; correctness over reuse.
-            matcher = self._fresh_matcher(request.query)
+            matcher = self._fresh_matcher(request.query, request.request_id)
             built = matcher.build()
             assert isinstance(built, CompactCECI)
             store = built
@@ -846,6 +1008,7 @@ class MatchService:
             request.query.fingerprint(),
         )
         self.metrics.inc("service_cache_outcomes", label=tag)
+        paid_build = 0.0
         for stats in build_stats:
             # The request that paid for the build carries its phases.
             job.stats.merge(stats)
@@ -853,7 +1016,28 @@ class MatchService:
                 stats.phase_seconds.get(phase, 0.0)
                 for phase in ("preprocess", "filter", "refine", "freeze")
             )
+            paid_build += build_seconds
             self.metrics.observe("service_build_seconds", build_seconds)
+        if job.flight is not None:
+            job.flight.event(
+                "index", tier=tag,
+                transplanted=(tag != "miss" and store is not entry.store),
+                build_seconds=round(paid_build, 6),
+            )
+        if self._telemetry_active(job):
+            try:
+                job.plan = plan_facts(store, request.query)
+            except Exception:  # noqa: BLE001 - plan facts are advisory;
+                # a store variant that cannot produce them must not fail
+                # the request
+                job.plan = None
+            if job.flight is not None and job.plan is not None:
+                job.flight.event(
+                    "plan",
+                    root=job.plan["root"],
+                    clusters=job.plan["clusters"],
+                    cardinality_bound=job.plan["cardinality_bound"],
+                )
         # Mirror CECIMatcher.run: the deadline covers index resolution;
         # a request that used up its budget getting an index returns a
         # truncated empty prefix rather than enumerating on borrowed
@@ -861,10 +1045,29 @@ class MatchService:
         if job.tracker is not None:
             job.tracker.check_deadline()
 
-    def _fresh_matcher(self, query: Graph) -> CECIMatcher:
+    def _telemetry_active(self, job: _Job) -> bool:
+        """Whether any consumer of plan facts / per-request records is
+        configured — the gate keeping their cost off the default path."""
+        return (
+            job.flight is not None
+            or self.history is not None
+            or self.slow_ms is not None
+        )
+
+    def _fresh_matcher(
+        self, query: Graph, request_id: Optional[int] = None
+    ) -> CECIMatcher:
         """A matcher with the service-wide index configuration.  Builds
         never consult the symmetry breaker, so it is disabled here; the
-        request's own breaker is applied at enumeration time."""
+        request's own breaker is applied at enumeration time.  With a
+        service tracer, build phases are stamped with the paying
+        request's id so ``trace summarize`` can group them."""
+        tracer = None
+        if self.tracer.enabled:
+            tracer = (
+                self.tracer if request_id is None
+                else self.tracer.scoped(request=request_id)
+            )
         return CECIMatcher(
             query,
             self.data,
@@ -873,6 +1076,7 @@ class MatchService:
             use_refinement=self.use_refinement,
             use_intersection=self.use_intersection,
             store="compact",
+            tracer=tracer,
         )
 
     def _plan(self, job: _Job) -> None:
@@ -882,6 +1086,8 @@ class MatchService:
             return
         try:
             if job.request.solo:
+                if job.flight is not None:
+                    job.flight.event("planned", mode="solo")
                 self._tasks.push_solo((job, -1, ()))
                 return
             store = job.store
@@ -898,6 +1104,12 @@ class MatchService:
             )
             self.metrics.set_gauge("service_plan_makespan", plan.makespan)
             self.metrics.set_gauge("service_plan_skew", plan.skew)
+            if job.flight is not None:
+                job.flight.event(
+                    "planned", mode="batched", units=len(pivots),
+                    makespan=round(plan.makespan, 3),
+                    skew=round(plan.skew, 4),
+                )
             job.parts = [None] * len(pivots)
             job.remaining = len(pivots)
             tasks: List[_Task] = [
@@ -988,7 +1200,19 @@ class MatchService:
         started = time.perf_counter()
         enumerator = self._enumerator(job, job.stats)
         embeddings = enumerator.collect(job.request.limit)
-        job.stats.add_phase("enumerate", time.perf_counter() - started)
+        seconds = time.perf_counter() - started
+        job.stats.add_phase("enumerate", seconds)
+        if self.tracer.enabled:
+            self.tracer.phase(
+                "enumerate", started, seconds,
+                request=job.request.request_id,
+            )
+        if job.flight is not None:
+            job.flight.event(
+                "solo", seconds=round(seconds, 6),
+                embeddings=len(embeddings),
+                truncated=enumerator.truncated,
+            )
         if enumerator.truncated:
             self._finalize(
                 job,
@@ -1009,7 +1233,18 @@ class MatchService:
         unit_stats = MatchStats()
         enumerator = self._enumerator(job, unit_stats)
         result = enumerator.collect_from_unit(prefix)
-        unit_stats.add_phase("enumerate", time.perf_counter() - started)
+        seconds = time.perf_counter() - started
+        unit_stats.add_phase("enumerate", seconds)
+        if self.tracer.enabled:
+            self.tracer.phase(
+                "enumerate", started, seconds,
+                request=job.request.request_id, unit=index,
+            )
+        if job.flight is not None:
+            job.flight.event(
+                "unit", index=index, seconds=round(seconds, 6),
+                embeddings=len(result),
+            )
         self.metrics.inc("service_units_total")
         with job.lock:
             if job.done:  # finalized (deadline/cancel/stall) meanwhile
@@ -1032,6 +1267,10 @@ class MatchService:
     def _fail_unit(
         self, job: _Job, index: int, error: str, kind: str = "error"
     ) -> None:
+        if job.flight is not None:
+            job.flight.event(
+                "unit_failed", index=index, kind=kind, error=error
+            )
         with job.lock:
             if job.done:
                 if index >= 0:
@@ -1067,6 +1306,55 @@ class MatchService:
         self.metrics.inc("service_requests_total", label=status)
         self.metrics.observe("service_request_seconds", latency)
         self.metrics.observe("service_time_seconds", service_seconds)
+        if self.fold_request_stats:
+            # Continuous fold: the live registry carries every request's
+            # enumeration counters, not just service-level outcomes.
+            with self._fold_lock:
+                self.metrics.merge(job.stats.registry())
+        slow = self.slow_ms is not None and latency * 1000.0 >= self.slow_ms
+        telemetry = (
+            job.flight is not None or slow or self.history is not None
+        )
+        counters = _stat_counters(job.stats) if telemetry else {}
+        signature = job.namespace[1] if job.namespace is not None else None
+        if job.flight is not None:
+            # Finish the record *before* resolving the response so a
+            # caller that sees the response also sees a terminal record.
+            job.flight.event("final", status=status)
+            job.flight.finish(
+                status=status,
+                cache=job.cache_tag,
+                retries=job.retries,
+                signature=signature,
+                latency_seconds=latency,
+                service_seconds=service_seconds,
+                stop_reason=stop_reason,
+                error=error,
+                plan=job.plan,
+                phase_seconds=dict(job.stats.phase_seconds),
+                counters=counters,
+            )
+        # Slow-log and history writes happen before the resolve too:
+        # a caller that saw the response can rely on its history line
+        # being durable, and serial submitters observe history lines in
+        # submission order (resolving first would let request N+1's
+        # line overtake request N's).
+        if slow:
+            self.metrics.inc("service_slow_requests")
+            self._log_slow(
+                job, status, stop_reason, error,
+                latency, service_seconds, signature, counters,
+            )
+        if self.history is not None:
+            try:
+                self.history.append(self._history_record(
+                    job, status, latency, service_seconds,
+                    signature, counters,
+                ))
+                self.metrics.inc("service_history_records")
+            except Exception:  # noqa: BLE001 - telemetry I/O must never
+                # fail a request that already has its answer
+                pass
         job.pending._resolve(MatchResponse(
             request_id=job.request.request_id,
             status=status,
@@ -1085,3 +1373,103 @@ class MatchService:
             self._inflight -= 1
             if self._inflight == 0:
                 self._idle.notify_all()
+
+    def _log_slow(
+        self,
+        job: _Job,
+        status: str,
+        stop_reason: Optional[str],
+        error: Optional[str],
+        latency: float,
+        service_seconds: float,
+        signature: Optional[str],
+        counters: Dict[str, int],
+    ) -> None:
+        """Append one flight-shaped JSONL line (plus the threshold that
+        tripped) to the slow-query log — the input of ``repro explain``."""
+        sink = self._slow_sink()
+        if sink is None:
+            return
+        if job.flight is not None:
+            line = job.flight.as_dict()
+        else:
+            line = {
+                "schema": FLIGHT_SCHEMA,
+                "request_id": job.request.request_id,
+                "status": status,
+                "cache": job.cache_tag,
+                "retries": job.retries,
+                "signature": signature,
+                "latency_seconds": latency,
+                "service_seconds": service_seconds,
+                "stop_reason": stop_reason,
+                "error": error,
+                "plan": job.plan,
+                "phase_seconds": dict(job.stats.phase_seconds),
+                "counters": counters,
+                "events": [],
+            }
+        line["slow_ms"] = self.slow_ms
+        try:
+            with self._slow_lock:
+                sink.write(json.dumps(line) + "\n")
+                sink.flush()
+        except Exception:  # noqa: BLE001 - a broken log sink must not
+            # fail requests
+            pass
+
+    def _slow_sink(self) -> Optional[TextIO]:
+        if self._slow_stream is not None:
+            return self._slow_stream
+        if self._slow_log_path is None:
+            return None
+        with self._slow_lock:
+            if self._slow_handle is None:
+                self._slow_handle = open(
+                    self._slow_log_path, "a", encoding="utf-8"
+                )
+        return self._slow_handle
+
+    def _history_record(
+        self,
+        job: _Job,
+        status: str,
+        latency: float,
+        service_seconds: float,
+        signature: Optional[str],
+        counters: Dict[str, int],
+    ) -> Dict:
+        """One query-history line: structural features + the chosen plan
+        + observed costs — the adaptive planner's training substrate."""
+        request = job.request
+        query = request.query
+        features: Dict[str, object] = {
+            "query_vertices": query.num_vertices,
+            "query_edges": query.num_edges,
+            "query_labels": len(query.distinct_labels()),
+            "max_degree": max(
+                (query.degree(u) for u in query.vertices()), default=0
+            ),
+            "solo": request.solo,
+            "kernel": request.kernel,
+        }
+        if job.plan is not None:
+            features.update(job.plan)
+        return {
+            "signature": (
+                signature
+                if signature is not None
+                # Failed before prepare: no canonical signature was
+                # computed; the raw fingerprint still keys the record.
+                else f"unprepared:{query.fingerprint()}"
+            ),
+            "request_id": request.request_id,
+            "status": status,
+            "cache": job.cache_tag,
+            "retries": job.retries,
+            "latency_seconds": latency,
+            "service_seconds": service_seconds,
+            "features": features,
+            "phase_seconds": dict(job.stats.phase_seconds),
+            "counters": counters,
+        }

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 
 import pytest
 
@@ -627,3 +628,208 @@ class TestCLI:
         qpath, dpath, _ = files
         with pytest.raises(SystemExit):
             main(["count", qpath, dpath, "--progress-interval", "-1"])
+
+
+# ---------------------------------------------------------------------------
+# Batched progress ticks (DESIGN.md §13 satellite)
+# ---------------------------------------------------------------------------
+class TestTickMany:
+    def _reporter(self, **kwargs):
+        stats = MatchStats()
+        out = io.StringIO()
+        defaults = dict(interval=0.0, stream=out, check_every=10)
+        defaults.update(kwargs)
+        return stats, out, ProgressReporter(stats, **defaults)
+
+    def test_zero_and_negative_are_noops(self):
+        _, out, progress = self._reporter()
+        progress.tick_many(0)
+        progress.tick_many(-5)
+        progress.finish()
+        # No real work was ever ticked, so finish() stays silent too.
+        assert out.getvalue() == ""
+        assert progress.lines_emitted == 0
+
+    def test_huge_single_increment_emits(self):
+        # One batch far larger than check_every must trip the clock
+        # check on that very call, not wait for a later tick.
+        stats, out, progress = self._reporter(check_every=10)
+        stats.recursive_calls = 1_000_000
+        progress.tick_many(1_000_000)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert "calls=1000000" in lines[0]
+
+    def test_final_done_line_after_batched_ticks(self):
+        # Batches that never reach check_every never consult the clock,
+        # but finish() still owes the run its closing summary.
+        stats, out, progress = self._reporter(check_every=1000)
+        stats.recursive_calls = 30
+        stats.embeddings_found = 4
+        for _ in range(3):
+            progress.tick_many(10)
+        progress.finish()
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 1
+        assert lines[-1].endswith("(done)")
+        assert "calls=30" in lines[-1]
+        assert "embeddings=4" in lines[-1]
+
+    def test_mixed_tick_and_tick_many_share_the_counter(self):
+        # 3 singles + a batch of 4 crosses check_every=7 exactly once.
+        stats, out, progress = self._reporter(check_every=7)
+        for _ in range(3):
+            progress.tick()
+        progress.tick_many(4)
+        assert progress.lines_emitted == 1
+        progress.finish()
+        assert out.getvalue().strip().splitlines()[-1].endswith("(done)")
+
+
+# ---------------------------------------------------------------------------
+# Labeled-family folds under concurrency + prom exposition details
+# ---------------------------------------------------------------------------
+class TestRegistryFolds:
+    def test_concurrent_labeled_folds_are_exact(self):
+        # Mirrors the service's continuous fold: every request finishes
+        # with its own registry, and a shared lock serialises the merge
+        # into the service-wide one (service.py holds _fold_lock).  The
+        # folded totals must be exact — a lost increment here would make
+        # the /metrics endpoint quietly lie.
+        specs = [
+            MetricSpec(
+                "service_requests_total", labeled=True, label_name="status"
+            ),
+            MetricSpec("depth", kind="histogram"),
+        ]
+        target = MetricsRegistry(specs)
+        fold_lock = threading.Lock()
+        statuses = ["ok", "error", "timeout"]
+
+        def fold_requests(worker: int) -> None:
+            for i in range(50):
+                per_request = MetricsRegistry(specs)
+                per_request.inc(
+                    "service_requests_total",
+                    label=statuses[(worker + i) % len(statuses)],
+                )
+                per_request.inc("recursive_calls", 3)
+                per_request.observe("depth", float(i % 7))
+                with fold_lock:
+                    target.merge(per_request)
+
+        threads = [
+            threading.Thread(target=fold_requests, args=(w,))
+            for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        family = target.labels("service_requests_total")
+        assert sum(family.values()) == 200
+        assert set(family) == set(statuses)
+        assert target.get("recursive_calls") == 600
+        assert target.get("depth")["count"] == 200.0
+
+    def test_merge_is_safe_against_live_source(self):
+        # A scrape folds the live registry while workers keep
+        # incrementing it; the copy-iteration in merge() must never
+        # blow up with a resized-dict error.
+        spec = MetricSpec("phase_seconds", labeled=True, label_name="phase")
+        live = MetricsRegistry([spec])
+        stop = threading.Event()
+
+        def mutate() -> None:
+            i = 0
+            while not stop.is_set():
+                live.inc("phase_seconds", 0.001, label=f"phase{i % 13}")
+                live.inc(f"counter{i % 17}")
+                i += 1
+
+        mutator = threading.Thread(target=mutate)
+        mutator.start()
+        try:
+            for _ in range(200):
+                snapshot = MetricsRegistry()
+                snapshot.merge(live)
+                assert snapshot.as_dict()["schema"] == METRICS_SCHEMA
+        finally:
+            stop.set()
+            mutator.join()
+
+    def test_prom_escapes_label_values(self):
+        spec = MetricSpec("errors", labeled=True, label_name="detail")
+        reg = MetricsRegistry([spec])
+        reg.inc("errors", label='path\\tmp "x"\nline2')
+        text = reg.to_prom()
+        assert (
+            'repro_errors{detail="path\\\\tmp \\"x\\"\\nline2"} 1' in text
+        )
+        # The escaped line must stay a single physical line.
+        [series] = [
+            line for line in text.splitlines()
+            if line.startswith("repro_errors{")
+        ]
+        assert series.count('"') == 4
+
+    def test_prom_histogram_summary_series(self):
+        spec = MetricSpec("unit_seconds", kind="histogram")
+        reg = MetricsRegistry([spec])
+        for value in (0.5, 2.0, 1.0):
+            reg.observe("unit_seconds", value)
+        text = reg.to_prom()
+        assert "# TYPE repro_unit_seconds summary" in text
+        assert "repro_unit_seconds_count 3" in text
+        assert "repro_unit_seconds_sum 3.5" in text
+        assert "repro_unit_seconds_min 0.5" in text
+        assert "repro_unit_seconds_max 2" in text
+
+
+# ---------------------------------------------------------------------------
+# Per-request trace summaries (repro trace summarize on service traces)
+# ---------------------------------------------------------------------------
+class TestSummarizePerRequest:
+    def _service_style_trace(self, tmp_path) -> str:
+        path = _trace_path(tmp_path)
+        tracer = Tracer(path)
+        for request_id, (filt, enum) in enumerate(
+            [(0.25, 0.75), (0.1, 0.4)]
+        ):
+            scoped = tracer.scoped(request=request_id)
+            scoped.phase("filter", 0.0, filt)
+            scoped.phase("enumerate", filt, enum)
+        # An untagged phase (e.g. index build shared across requests)
+        # must contribute to the blended totals but no request's table.
+        tracer.phase("build", 0.0, 0.5)
+        tracer.close()
+        return path
+
+    def test_requests_group_into_separate_tables(self, tmp_path):
+        path = self._service_style_trace(tmp_path)
+        summary = read_trace(path)
+        assert summary.requests == {
+            0: {"filter": 0.25, "enumerate": 0.75},
+            1: {"filter": 0.1, "enumerate": 0.4},
+        }
+        # Blended totals still include every phase, tagged or not.
+        assert summary.phase_seconds()["build"] == pytest.approx(0.5)
+        assert summary.phase_seconds()["filter"] == pytest.approx(0.35)
+
+    def test_as_dict_and_render_carry_requests(self, tmp_path):
+        path = self._service_style_trace(tmp_path)
+        dump = json.loads(summarize_trace(path, as_json=True))
+        assert dump["requests"]["0"]["enumerate"] == pytest.approx(0.75)
+        rendered = summarize_trace(path)
+        assert "per-request breakdown" in rendered
+        # Each request's table closes with its own total row.
+        assert rendered.count("total") >= 2
+
+    def test_untagged_trace_renders_without_request_section(self, tmp_path):
+        path = _trace_path(tmp_path)
+        tracer = Tracer(path)
+        tracer.phase("filter", 0.0, 0.2)
+        tracer.close()
+        rendered = summarize_trace(path)
+        assert "per-request breakdown" not in rendered

@@ -149,3 +149,65 @@ def test_response_encoding_is_json_clean():
     assert response_to_json(response, include_embeddings=False).get(
         "embeddings"
     ) is None
+
+
+def test_phase_seconds_on_the_wire():
+    # Clients get the build-vs-enumerate split without server logs.
+    [response] = _serve_lines([TRIANGLE_LINE])
+    phases = response["phase_seconds"]
+    assert isinstance(phases, dict) and phases
+    assert all(
+        isinstance(v, float) and v >= 0.0 for v in phases.values()
+    )
+    assert {"filter", "enumerate"} <= set(phases)
+
+
+def test_op_metrics_is_live_and_folded():
+    responses = _serve_lines(
+        [TRIANGLE_LINE, {"op": "metrics"}],
+        fold_request_stats=True,
+    )
+    line = responses[1]
+    assert line["op"] == "metrics"
+    metrics = line["metrics"]["metrics"]
+    assert metrics["service_requests_total"] == {Status.OK: 1}
+    # The continuous fold carries enumeration counters, and the
+    # scrape-time gauges ride along with the snapshot.
+    assert metrics["recursive_calls"] > 0
+    assert "service_healthy_workers" in metrics
+    assert line["scheduler"]["popped"] >= 1
+    assert line["index_cache"]["misses"] == 1
+
+
+def test_op_flight_dump_and_filters():
+    from repro.observability import validate_flight_record
+
+    responses = _serve_lines(
+        [
+            {**TRIANGLE_LINE, "id": 1},
+            {**TRIANGLE_LINE, "id": 2},
+            {"op": "flight"},
+            {"op": "flight", "id": 2},
+            {"op": "flight", "limit": 1},
+        ],
+        flight_records=8,
+    )
+    full, by_id, limited = responses[2], responses[3], responses[4]
+    assert full["op"] == "flight" and full["enabled"] is True
+    assert full["count"] == 2
+    for record in full["records"]:
+        validate_flight_record(record)
+        assert record["finished"] is True
+        assert record["status"] == Status.OK
+    assert by_id["count"] == 1
+    assert by_id["records"][0]["request_id"] == 2
+    # limit keeps the most recent record.
+    assert limited["count"] == 1
+    assert limited["records"][0]["request_id"] == 2
+
+
+def test_op_flight_disabled_hint():
+    [response] = _serve_lines([{"op": "flight"}])
+    assert response["enabled"] is False
+    assert response["records"] == []
+    assert "--flight-records" in response["error"]
