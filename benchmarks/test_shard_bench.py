@@ -1,0 +1,71 @@
+"""Sharded-tier horizontal-scaling benchmark (DESIGN.md §14).
+
+Runs the same deterministic workload through a
+:class:`~repro.service.shards.ShardedMatchService` at 1, 2 and 4 shard
+processes and archives the sweep as
+``benchmarks/results/BENCH_shard.json`` — the file the CI shards job
+validates.
+
+The acceptance bar is the PR's headline claim: partitioning pivots
+across 4 shards must cut the *critical path* — the longest per-shard
+CPU-busy chain, what wall clock would be with a core per shard — to at
+least ``MIN_SHARD_SPEEDUP``x below the single-shard baseline.  (CI
+runners and this container typically expose one CPU, so wall clock
+cannot show the win; ``time.process_time`` in the shard workers
+measures it free of time-slice noise, the same simulated-speedup
+substitution DESIGN.md §2 uses for the intersection pool.  The sweep
+records ``wall_speedup`` alongside for machines with real
+parallelism.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.graph import inject_labels
+from repro.graph.generators import power_law
+from repro.service import run_shard_benchmark
+
+#: The 4-shard critical path must be at least this many times shorter
+#: than the 1-shard one.
+MIN_SHARD_SPEEDUP = 1.5
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+def test_shard_bench(results_dir):
+    data = inject_labels(power_law(4000, 3, seed=7), 12, seed=7)
+    report = run_shard_benchmark(
+        data,
+        shard_counts=SHARD_COUNTS,
+        num_queries=6,
+        requests=30,
+        seed=0,
+        min_vertices=4,
+        max_vertices=6,
+        max_embeddings=2000,
+    )
+
+    assert report["schema"] == 1
+    assert report["kind"] == "shard_scaling"
+    points = report["points"]
+    assert [point["shards"] for point in points] == list(SHARD_COUNTS)
+    for point in points:
+        assert len(point["shard_busy_seconds"]) == point["shards"]
+        assert point["critical_path_seconds"] > 0
+        assert point["throughput_rps"] > 0
+        assert 0.0 < point["balance"] <= 1.0
+    assert points[0]["shard_speedup"] == 1.0
+    # Monotone-ish scaling with a hard bar at 4 shards.
+    final = points[-1]
+    assert final["shard_speedup"] >= MIN_SHARD_SPEEDUP, (
+        f"4-shard critical path only {final['shard_speedup']:.2f}x "
+        f"shorter than 1 shard (bar: {MIN_SHARD_SPEEDUP}x) — pivot "
+        f"partitioning has regressed"
+    )
+
+    path = os.path.join(results_dir, "BENCH_shard.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

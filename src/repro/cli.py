@@ -359,6 +359,23 @@ def _service_from(args: argparse.Namespace, data: Graph, tracer=None):
     from .resilience.recovery import RetryPolicy
     from .service import MatchService
 
+    if getattr(args, "shards", 0):
+        from .service.shards import ShardedMatchService
+
+        # The sharded tier is process-based: thread-pool knobs that do
+        # not transfer (retries, spill byte-bounds, history/tracing)
+        # are simply absent from its surface, so only the shared ones
+        # are forwarded.
+        return ShardedMatchService(
+            data,
+            shards=args.shards,
+            max_pending=args.max_pending,
+            index_capacity=args.index_capacity,
+            spill_dir=args.spill_dir,
+            order_strategy=args.order,
+            deadline_seconds=args.deadline,
+            flight_records=getattr(args, "flight_records", 0) or 0,
+        )
     retry_policy = None
     if args.retries > 0:
         retry_policy = RetryPolicy(
@@ -443,6 +460,8 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
         )
     if args.chaos:
         return _bench_chaos(args, data)
+    if args.shard_sweep:
+        return _bench_shard_sweep(args, data)
     with _service_from(args, data) as service:
         report = run_benchmark(
             service,
@@ -468,12 +487,58 @@ def _cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_shard_sweep(args: argparse.Namespace, data: Graph) -> int:
+    """``bench-service --shard-sweep``: the horizontal-scaling sweep
+    (emits ``BENCH_shard.json``)."""
+    from .service.loadgen import run_shard_benchmark
+
+    try:
+        shard_counts = [
+            int(token) for token in args.shard_sweep.split(",") if token
+        ]
+    except ValueError:
+        print(f"error: bad --shard-sweep {args.shard_sweep!r} "
+              "(want e.g. 1,2,4)", file=sys.stderr)
+        return 2
+    if not shard_counts or any(count < 1 for count in shard_counts):
+        print("error: --shard-sweep needs positive shard counts",
+              file=sys.stderr)
+        return 2
+    report = run_shard_benchmark(
+        data,
+        shard_counts=shard_counts,
+        num_queries=args.queries,
+        requests=args.requests,
+        seed=args.seed,
+        min_vertices=args.min_vertices,
+        max_vertices=args.max_vertices,
+        max_embeddings=args.max_embeddings,
+        index_capacity=args.index_capacity,
+    )
+    payload = json.dumps(report, indent=2)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(payload + "\n")
+    print(payload)
+    for point in report["points"]:
+        print(
+            f"# shards={point['shards']}: "
+            f"critical path {point['critical_path_seconds'] * 1e3:.1f}ms, "
+            f"shard speedup {point['shard_speedup']:.2f}x "
+            f"(wall {point['wall_speedup']:.2f}x), "
+            f"balance {point['balance']:.2f}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _bench_chaos(args: argparse.Namespace, data: Graph) -> int:
     """``bench-service --chaos``: seeded fault injection with a hard
     gate — zero wrong results, bounded availability loss, and a
     full-strength worker pool, or a non-zero exit."""
     from .service.loadgen import run_chaos
 
+    shards = getattr(args, "shards", 0) or 0
     report = run_chaos(
         data,
         num_queries=args.queries,
@@ -486,6 +551,10 @@ def _bench_chaos(args: argparse.Namespace, data: Graph) -> int:
         min_vertices=args.min_vertices,
         max_vertices=args.max_vertices,
         max_embeddings=args.max_embeddings,
+        shards=shards,
+        shard_crash_fraction=args.shard_crash_fraction if shards else 0.0,
+        shard_stall_fraction=args.shard_stall_fraction if shards else 0.0,
+        publish_torn_fraction=args.publish_torn_fraction if shards else 0.0,
     )
     payload = json.dumps(report, indent=2)
     if args.out:
@@ -512,10 +581,11 @@ def _bench_chaos(args: argparse.Namespace, data: Graph) -> int:
             f"availability {availability:.2f} below the "
             f"--min-availability {args.min_availability} gate"
         )
+    pool_size = shards if shards else (args.workers or 2)
     if not full_strength:
         failures.append(
             f"worker pool degraded: {report['healthy_workers']} of "
-            f"{args.workers or 2} workers alive"
+            f"{pool_size} workers alive"
         )
     if failures:
         print("# chaos gate FAILED: " + "; ".join(failures), file=sys.stderr)
@@ -699,6 +769,14 @@ def _build_parser() -> argparse.ArgumentParser:
     def add_service_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=None, metavar="K",
                        help="service worker threads (default 2)")
+        p.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run the sharded multi-process tier instead: "
+                            "N worker processes sharing mmap'd CECIIDX3 "
+                            "indexes, pivot partitions fanned across "
+                            "them and merged exactly (0 = the "
+                            "single-process thread pool; --workers, "
+                            "--retries and --spill-max-bytes do not "
+                            "apply when sharded)")
         p.add_argument("--max-pending", type=int, default=64,
                        help="admission limit: requests beyond this many "
                             "in flight are shed with status 'rejected'")
@@ -813,6 +891,23 @@ def _build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--min-availability", type=float, default=0.6,
                          help="chaos gate: minimum fraction of requests "
                               "that must still complete OK")
+    p_bench.add_argument("--shard-crash-fraction", type=float, default=0.1,
+                         help="chaos with --shards: fraction of shard "
+                              "tasks whose worker process is killed "
+                              "mid-query (respawn + redispatch)")
+    p_bench.add_argument("--shard-stall-fraction", type=float, default=0.0,
+                         help="chaos with --shards: fraction of shard "
+                              "tasks stalled before execution")
+    p_bench.add_argument("--publish-torn-fraction", type=float, default=0.0,
+                         help="chaos with --shards: fraction of shared "
+                              "CECIIDX3 publishes torn mid-write "
+                              "(checksum detection + republish)")
+    p_bench.add_argument("--shard-sweep", default=None, metavar="N,N,...",
+                         help="run the horizontal-scaling sweep instead: "
+                              "the same workload at each shard count "
+                              "(e.g. 1,2,4), reporting per-point "
+                              "critical-path shard_speedup; emits "
+                              "BENCH_shard.json via --out")
     add_service_args(p_bench)
     p_bench.set_defaults(fn=_cmd_bench_service)
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import zlib
 from typing import BinaryIO, Dict, List, Optional, Tuple, Union
 
@@ -50,6 +51,8 @@ __all__ = [
     "ChecksumError",
     "save_ceci",
     "load_ceci",
+    "publish_ceci",
+    "publish_bytes",
     "dump_ceci_bytes",
     "load_ceci_bytes",
     "dump_store_bytes",
@@ -354,8 +357,32 @@ def save_ceci(index: Union[CECI, CompactCECI], path: str) -> None:
         blob = dump_store_bytes(index)
     else:
         blob = dump_ceci_bytes(index)
-    with open(path, "wb") as handle:
+    publish_bytes(blob, path)
+
+
+def publish_bytes(blob: bytes, path: str) -> int:
+    """Atomically publish ``blob`` at ``path`` (write-to-temp, fsync,
+    rename): readers — including other processes about to ``np.memmap``
+    the file — observe either the previous file or the complete new
+    one, never a torn intermediate.  Returns the byte count."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
         handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(blob)
+
+
+def publish_ceci(index: Union[CECI, CompactCECI], path: str) -> int:
+    """Atomically publish a built index at ``path`` in the v3 format —
+    the shared-mmap publication path of the sharded service tier: one
+    process freezes and publishes, N processes
+    :func:`load_ceci`\\ (…, ``mmap=True``) the same checksummed file and
+    share its pages through the OS page cache.  Returns the byte count
+    written."""
+    store = index if isinstance(index, CompactCECI) else index.compact()
+    return publish_bytes(dump_store_bytes(store), path)
 
 
 def load_ceci(

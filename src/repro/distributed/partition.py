@@ -70,9 +70,20 @@ def distribute_pivots(
     Greedy longest-processing-time assignment under the lightweight
     workload, with Jaccard groups (in-memory mode only) kept together
     while the target machine stays under ``MAX_LOAD_FACTOR`` x average.
+
+    Degenerate shapes keep their obvious contracts — the sharded
+    service tier feeds this per query, so they all actually occur: an
+    empty pivot set yields ``num_machines`` empty lists; fewer pivots
+    than machines leaves the surplus machines empty (callers skip
+    empty partitions rather than dispatch no-op tasks); all-zero
+    workloads (edgeless graphs) still place every pivot exactly once
+    via the greedy least-loaded rule, which then degenerates to
+    round-robin.
     """
     if num_machines < 1:
         raise ValueError("num_machines must be >= 1")
+    if not pivots:
+        return [[] for _ in range(num_machines)]
     workloads = {
         v: lightweight_workload(data, v, mode) for v in pivots
     }

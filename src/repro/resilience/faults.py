@@ -42,6 +42,24 @@ discipline:
   scheduler wedges for a bounded interval before preparing the ``k``-th
   admitted job, which end-to-end request deadlines must absorb.
 
+The **shard-level** fault points drive the multi-process
+:class:`~repro.service.shards.ShardedMatchService` (shard processes,
+shared-mmap index publishes) through the same seeded discipline:
+
+* ``shard_crash_picks = {(s, k), ...}`` — shard process ``s`` dies
+  (``os._exit``) while holding the ``k``-th task *it* received (0-based
+  per shard); the parent must observe the pipe EOF, respawn the shard
+  and re-dispatch the lost task without ever surfacing a partial
+  answer;
+* ``shard_stall_picks = {(s, k), ...}`` / ``shard_stall_seconds`` —
+  shard ``s`` wedges for a bounded interval before working its ``k``-th
+  task (a straggler shard), which request deadlines must absorb while
+  every other shard's results stay exact;
+* ``publish_torn_picks = {k, ...}`` — the ``k``-th shared-index publish
+  writes a torn (truncated) CECIIDX3 file, as if the publisher died
+  mid-write; shard processes must detect the broken block checksums,
+  refuse to serve from it, and the parent must republish.
+
 Every stochastic decision flows from ``seed`` through
 :meth:`FaultPlan.rng`, so a plan replays identically run after run —
 the deterministic-seed guarantee DESIGN.md documents.
@@ -51,7 +69,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet
+from typing import Dict, FrozenSet, Tuple
 
 __all__ = [
     "FaultPlan",
@@ -112,6 +130,15 @@ class FaultPlan:
     )
     scheduler_stall_picks: FrozenSet[int] = field(default_factory=frozenset)
     scheduler_stall_seconds: float = 0.0
+    # Shard-level fault points (see module docstring).
+    shard_crash_picks: FrozenSet[Tuple[int, int]] = field(
+        default_factory=frozenset
+    )
+    shard_stall_picks: FrozenSet[Tuple[int, int]] = field(
+        default_factory=frozenset
+    )
+    shard_stall_seconds: float = 0.0
+    publish_torn_picks: FrozenSet[int] = field(default_factory=frozenset)
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.message_drop_rate < 1.0:
@@ -126,6 +153,12 @@ class FaultPlan:
         if self.scheduler_stall_picks and self.scheduler_stall_seconds == 0.0:
             raise ValueError(
                 "scheduler_stall_picks requires scheduler_stall_seconds > 0"
+            )
+        if self.shard_stall_seconds < 0.0:
+            raise ValueError("shard_stall_seconds must be >= 0")
+        if self.shard_stall_picks and self.shard_stall_seconds == 0.0:
+            raise ValueError(
+                "shard_stall_picks requires shard_stall_seconds > 0"
             )
 
     def rng(self) -> random.Random:
@@ -172,6 +205,18 @@ class FaultPlan:
         """Does the scheduler wedge before preparing the n-th job?"""
         return job_index in self.scheduler_stall_picks
 
+    def shard_crashes_at(self, shard: int, task_pick: int) -> bool:
+        """Does shard process ``shard`` die holding its n-th task?"""
+        return (shard, task_pick) in self.shard_crash_picks
+
+    def shard_stalls_at(self, shard: int, task_pick: int) -> bool:
+        """Does shard ``shard`` wedge before working its n-th task?"""
+        return (shard, task_pick) in self.shard_stall_picks
+
+    def publish_torn_at(self, publish_index: int) -> bool:
+        """Is the n-th shared-index publish written torn?"""
+        return publish_index in self.publish_torn_picks
+
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
@@ -186,6 +231,9 @@ class FaultPlan:
             and not self.spill_torn_write_picks
             and not self.spill_read_corrupt_picks
             and not self.scheduler_stall_picks
+            and not self.shard_crash_picks
+            and not self.shard_stall_picks
+            and not self.publish_torn_picks
         )
 
     # ------------------------------------------------------------------
@@ -237,13 +285,21 @@ class FaultPlan:
         spill_fault_fraction: float = 0.25,
         stall_fraction: float = 0.0,
         stall_seconds: float = 0.05,
+        num_shards: int = 0,
+        shard_crash_fraction: float = 0.0,
+        shard_stall_fraction: float = 0.0,
+        shard_stall_seconds: float = 0.05,
+        publish_torn_fraction: float = 0.0,
     ) -> "FaultPlan":
         """A randomized-but-deterministic *service* plan sized to a run
         of ``requests`` requests: a fraction of task picks kill their
         worker, a fraction of index builds fail, a fraction of spill
         writes/reads are torn/corrupted, and (optionally) the scheduler
-        stalls before a fraction of jobs.  The same seed always yields
-        the same plan, so a chaos run replays exactly."""
+        stalls before a fraction of jobs.  With ``num_shards > 0`` the
+        shard-level points join in: per-shard task picks that kill or
+        stall their shard process, and torn shared-index publishes.
+        The same seed always yields the same plan, so a chaos run
+        replays exactly."""
         if requests < 1:
             raise ValueError("requests must be >= 1")
         rng = random.Random(seed)
@@ -254,7 +310,23 @@ class FaultPlan:
                 count = max(count, 1)
             return frozenset(rng.sample(range(span), count))
 
+        def shard_picks(fraction: float) -> FrozenSet[Tuple[int, int]]:
+            """(shard, per-shard task pick) pairs drawn over an early
+            window of each shard's task stream — a fan-out of one
+            request gives every shard roughly one task, so the pick
+            span mirrors the request count."""
+            if num_shards < 1 or fraction <= 0.0:
+                return frozenset()
+            span = max(requests // max(num_shards, 1), 4)
+            universe = [
+                (s, k) for s in range(num_shards) for k in range(span)
+            ]
+            count = max(min(int(requests * fraction + 0.5), len(universe)), 1)
+            return frozenset(rng.sample(universe, count))
+
         stall_picks = picks(stall_fraction, requests)
+        shard_crashes = shard_picks(shard_crash_fraction)
+        shard_stalls = shard_picks(shard_stall_fraction)
         return cls(
             seed=seed,
             service_worker_crash_picks=picks(crash_fraction, requests),
@@ -267,4 +339,10 @@ class FaultPlan:
             ),
             scheduler_stall_picks=stall_picks,
             scheduler_stall_seconds=stall_seconds if stall_picks else 0.0,
+            shard_crash_picks=shard_crashes,
+            shard_stall_picks=shard_stalls,
+            shard_stall_seconds=shard_stall_seconds if shard_stalls else 0.0,
+            publish_torn_picks=picks(
+                publish_torn_fraction, max(requests // 4, 1)
+            ),
         )

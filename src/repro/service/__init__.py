@@ -13,15 +13,26 @@ graph resident and answers *streams* of queries:
   :class:`~repro.service.request.MatchResponse` — the request surface;
 * :mod:`~repro.service.loadgen` — deterministic open-loop benchmark
   (``repro bench-service``);
-* :mod:`~repro.service.server` — JSON-lines front end (``repro serve``).
+* :mod:`~repro.service.server` — JSON-lines front end (``repro serve``);
+* :class:`~repro.service.shards.ShardedMatchService` — the multi-process
+  shard tier (``repro serve --shards N``): pivot partitions fanned out
+  across worker processes sharing mmap'd CECIIDX3 indexes, with
+  exact-merge responses indistinguishable from the single-process tier.
 """
 
 from .cache import CacheEntry, IndexCache, transplant_store
-from .loadgen import generate_workload, run_benchmark, run_chaos, sample_query
+from .loadgen import (
+    generate_workload,
+    run_benchmark,
+    run_chaos,
+    run_shard_benchmark,
+    sample_query,
+)
 from .request import MatchRequest, MatchResponse, Status
 from .scheduler import FairTaskQueue, fair_interleave
 from .server import serve
 from .service import MatchService, PendingMatch, service_metric_specs
+from .shards import ShardedMatchService, sharded_metric_specs
 
 __all__ = [
     "CacheEntry",
@@ -31,13 +42,16 @@ __all__ = [
     "MatchResponse",
     "MatchService",
     "PendingMatch",
+    "ShardedMatchService",
     "Status",
     "fair_interleave",
     "generate_workload",
     "run_benchmark",
     "run_chaos",
+    "run_shard_benchmark",
     "sample_query",
     "serve",
     "service_metric_specs",
+    "sharded_metric_specs",
     "transplant_store",
 ]

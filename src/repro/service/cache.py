@@ -52,9 +52,13 @@ __all__ = ["CacheEntry", "IndexCache", "transplant_store"]
 class CacheEntry:
     """One cached frozen index plus what :meth:`IndexCache.adapt` needs
     to re-target it: the representative query's canonical order and the
-    build cost (for the warm-speedup accounting)."""
+    build cost (for the warm-speedup accounting).  ``blob`` memoizes the
+    entry's CECIIDX3 serialization for the sharded service's publish
+    path (see :meth:`IndexCache.serialized`)."""
 
-    __slots__ = ("key", "store", "canon_order", "build_seconds", "hits")
+    __slots__ = (
+        "key", "store", "canon_order", "build_seconds", "hits", "blob",
+    )
 
     def __init__(
         self,
@@ -68,6 +72,7 @@ class CacheEntry:
         self.canon_order = canon_order
         self.build_seconds = build_seconds
         self.hits = 0
+        self.blob: Optional[bytes] = None
 
 
 def transplant_store(
@@ -290,6 +295,21 @@ class IndexCache:
             return entry.store
         self._count("transplants")
         return transplant_store(entry.store, query, sigma)
+
+    def serialized(
+        self, entry: CacheEntry, store: Optional[CompactCECI] = None
+    ) -> bytes:
+        """CECIIDX3 bytes for ``store`` (default: the entry's own
+        store), memoized on the entry when they coincide — so repeated
+        shard publishes and spills of one hot index pay serialization
+        once.  A transplanted store is serialized fresh every time: its
+        per-query-vertex layout is labeling-specific and must never
+        masquerade as the representative's blob."""
+        if store is None or store is entry.store:
+            if entry.blob is None:
+                entry.blob = dump_store_bytes(entry.store)
+            return entry.blob
+        return dump_store_bytes(store)
 
     # ------------------------------------------------------------------
     # Spill tier

@@ -24,6 +24,7 @@ availability, retry counts and pool health.
 
 from __future__ import annotations
 
+import os
 import random
 import tempfile
 import time
@@ -41,6 +42,7 @@ __all__ = [
     "percentile",
     "run_benchmark",
     "run_chaos",
+    "run_shard_benchmark",
     "BENCH_SCHEMA",
 ]
 
@@ -276,6 +278,11 @@ def run_chaos(
     min_vertices: int = 3,
     max_vertices: int = 5,
     max_embeddings: Optional[int] = 200,
+    shards: int = 0,
+    shard_crash_fraction: float = 0.0,
+    shard_stall_fraction: float = 0.0,
+    shard_stall_seconds: float = 0.05,
+    publish_torn_fraction: float = 0.0,
 ) -> Dict[str, object]:
     """Seeded chaos run: a fault-injected service vs. sequential truth.
 
@@ -298,6 +305,14 @@ def run_chaos(
       (watchdog respawns verified) and every quarantined spill must be
       counted in ``spill_corrupt``.
 
+    With ``shards > 0`` the run targets a
+    :class:`~repro.service.shards.ShardedMatchService` of that many
+    worker *processes* instead, and the shard fault classes join the
+    plan: shard-process kills mid-task, per-shard stalls, and torn
+    shared-mmap publishes.  The judgments are identical — zero wrong
+    results no matter which shard died — and ``pool_full_strength``
+    then means every shard process is alive again (respawns verified).
+
     Returns a JSON-ready report; closing the service is handled here.
     """
     queries = generate_workload(
@@ -319,6 +334,11 @@ def run_chaos(
         spill_fault_fraction=spill_fault_fraction,
         stall_fraction=stall_fraction,
         stall_seconds=stall_seconds,
+        num_shards=shards,
+        shard_crash_fraction=shard_crash_fraction,
+        shard_stall_fraction=shard_stall_fraction,
+        shard_stall_seconds=shard_stall_seconds,
+        publish_torn_fraction=publish_torn_fraction,
     )
     policy = RetryPolicy(
         max_retries=max_retries,
@@ -334,8 +354,21 @@ def run_chaos(
     statuses: Dict[str, int] = {status: 0 for status in Status.ALL}
     wrong: List[Dict[str, int]] = []
     retries_total = 0
-    try:
-        with MatchService(
+    if shards > 0:
+        from .shards import ShardedMatchService
+
+        service_ctx = ShardedMatchService(
+            data,
+            shards=shards,
+            max_pending=max(requests, 1),
+            index_capacity=index_capacity,
+            spill_dir=spill_dir,
+            deadline_seconds=deadline_seconds,
+            fault_plan=plan,
+        )
+        pool_size = shards
+    else:
+        service_ctx = MatchService(
             data,
             workers=workers,
             max_pending=max(requests, 1),
@@ -344,7 +377,10 @@ def run_chaos(
             deadline_seconds=deadline_seconds,
             retry_policy=policy,
             fault_plan=plan,
-        ) as service:
+        )
+        pool_size = workers
+    try:
+        with service_ctx as service:
             started = time.perf_counter()
             pending: List[PendingMatch] = [
                 service.submit(MatchRequest(queries[index]))
@@ -375,6 +411,7 @@ def run_chaos(
                     "data_vertices": data.num_vertices,
                     "data_edges": data.num_edges,
                     "workers": workers,
+                    "shards": shards,
                     "num_queries": num_queries,
                     "requests": requests,
                     "seed": seed,
@@ -383,6 +420,9 @@ def run_chaos(
                     "build_failure_fraction": build_failure_fraction,
                     "spill_fault_fraction": spill_fault_fraction,
                     "stall_fraction": stall_fraction,
+                    "shard_crash_fraction": shard_crash_fraction,
+                    "shard_stall_fraction": shard_stall_fraction,
+                    "publish_torn_fraction": publish_torn_fraction,
                     "deadline_seconds": deadline_seconds,
                     "index_capacity": index_capacity,
                 },
@@ -392,6 +432,9 @@ def run_chaos(
                     "torn_spill_writes": len(plan.spill_torn_write_picks),
                     "corrupt_spill_reads": len(plan.spill_read_corrupt_picks),
                     "scheduler_stalls": len(plan.scheduler_stall_picks),
+                    "shard_crashes": len(plan.shard_crash_picks),
+                    "shard_stalls": len(plan.shard_stall_picks),
+                    "torn_publishes": len(plan.publish_torn_picks),
                 },
                 "statuses": statuses,
                 "wrong_results": wrong,
@@ -401,11 +444,155 @@ def run_chaos(
                 "retries_total": retries_total,
                 "worker_respawns": metrics.get("service_worker_respawns"),
                 "healthy_workers": healthy,
-                "pool_full_strength": healthy == workers,
+                "pool_full_strength": healthy == pool_size,
                 "elapsed_seconds": elapsed,
                 "index_cache": cache_snapshot,
             }
+            if shards > 0:
+                report["shard_respawns"] = metrics.get(
+                    "service_shard_respawns"
+                )
+                report["shard_redispatches"] = metrics.get(
+                    "service_shard_redispatches"
+                )
+                report["shard_republishes"] = metrics.get(
+                    "service_shard_republishes"
+                )
             return report
     finally:
         if tmp is not None:
             tmp.cleanup()
+
+
+def run_shard_benchmark(
+    data: Graph,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    num_queries: int = 6,
+    requests: int = 30,
+    seed: int = 0,
+    min_vertices: int = 3,
+    max_vertices: int = 5,
+    max_embeddings: Optional[int] = None,
+    index_capacity: int = 32,
+) -> Dict[str, object]:
+    """Horizontal-scaling sweep across shard counts (``BENCH_shard``).
+
+    For each entry in ``shard_counts`` a fresh
+    :class:`~repro.service.shards.ShardedMatchService` answers the same
+    seeded workload: every unique query once to warm the shared index
+    cache, then an open-loop mixed phase of ``requests`` requests.  The
+    headline per-point figure is ``shard_speedup`` — the *critical-path*
+    ratio ``max-per-shard busy CPU seconds at 1 shard / at k shards``,
+    the same simulated-speedup substitution DESIGN.md §2 uses for the
+    intersection pool: on a box whose cores are already saturated (CI
+    runners pin this suite to one CPU) wall-clock cannot show the
+    partitioning win, but the longest per-shard CPU chain — what the
+    wall-clock *would* be with a core per shard — can, and
+    ``time.process_time`` in the workers measures it free of
+    time-slice noise.  ``wall_speedup`` rides along for machines with
+    real parallelism.
+
+    Counts are cross-checked across shard counts: the same query must
+    report the same embedding count at every width — a scaling sweep is
+    also a differential test.
+
+    Returns the JSON-ready ``BENCH_shard.json`` report.
+    """
+    from .shards import ShardedMatchService
+
+    queries = generate_workload(
+        data,
+        num_queries,
+        seed=seed,
+        min_vertices=min_vertices,
+        max_vertices=max_vertices,
+        max_embeddings=max_embeddings,
+    )
+    rng = random.Random(seed + 1)
+    schedule = [rng.randrange(len(queries)) for _ in range(requests)]
+    counts: List[Optional[int]] = [None] * len(queries)
+    points: List[Dict[str, object]] = []
+    baseline_critical: Optional[float] = None
+    baseline_elapsed: Optional[float] = None
+    for shards in shard_counts:
+        with ShardedMatchService(
+            data,
+            shards=shards,
+            max_pending=max(requests, 1) + num_queries,
+            index_capacity=index_capacity,
+        ) as service:
+            for i, query in enumerate(queries):
+                response = service.match(MatchRequest(query))
+                if response.status != Status.OK:
+                    raise AssertionError(
+                        f"shard warmup failed at {shards} shards: "
+                        f"{response.status} ({response.error})"
+                    )
+                if counts[i] is None:
+                    counts[i] = response.count
+                elif counts[i] != response.count:
+                    raise AssertionError(
+                        f"query {i} count diverged at {shards} shards: "
+                        f"{counts[i]} != {response.count}"
+                    )
+            started = time.perf_counter()
+            pending = [
+                service.submit(MatchRequest(queries[index]))
+                for index in schedule
+            ]
+            for index, handle in zip(schedule, pending):
+                response = handle.result()
+                if response.status != Status.OK:
+                    raise AssertionError(
+                        f"shard bench request failed at {shards} shards: "
+                        f"{response.status} ({response.error})"
+                    )
+                if response.count != counts[index]:
+                    raise AssertionError(
+                        f"query {index} count diverged at {shards} shards: "
+                        f"{counts[index]} != {response.count}"
+                    )
+            elapsed = time.perf_counter() - started
+            telemetry = service.shard_telemetry()
+        busy = [float(b) for b in telemetry["busy_seconds"]]
+        critical = max(busy) if busy else 0.0
+        total_busy = sum(busy)
+        if baseline_critical is None:
+            baseline_critical = critical
+            baseline_elapsed = elapsed
+        mean_busy = total_busy / len(busy) if busy else 0.0
+        points.append({
+            "shards": shards,
+            "elapsed_seconds": elapsed,
+            "throughput_rps": requests / elapsed if elapsed > 0 else 0.0,
+            "shard_busy_seconds": busy,
+            "shard_tasks": [int(t) for t in telemetry["tasks"]],
+            "critical_path_seconds": critical,
+            "total_busy_seconds": total_busy,
+            "shard_speedup": (
+                baseline_critical / critical if critical > 0 else 0.0
+            ),
+            "wall_speedup": (
+                (baseline_elapsed or 0.0) / elapsed if elapsed > 0 else 0.0
+            ),
+            # Load balance: mean busy / max busy; 1.0 is a perfect split.
+            "balance": mean_busy / critical if critical > 0 else 1.0,
+        })
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "shard_scaling",
+        "cpus": len(os.sched_getaffinity(0)),
+        "config": {
+            "data_vertices": data.num_vertices,
+            "data_edges": data.num_edges,
+            "shard_counts": list(shard_counts),
+            "num_queries": num_queries,
+            "requests": requests,
+            "seed": seed,
+            "min_vertices": min_vertices,
+            "max_vertices": max_vertices,
+            "max_embeddings": max_embeddings,
+        },
+        "embedding_counts": counts,
+        "points": points,
+    }

@@ -43,6 +43,12 @@ T = TypeVar("T")
 #: ahead of every batched unit, whose virtual times live in ``(0, 1]``.
 SOLO_VTIME = -1.0
 
+#: Virtual time assigned to *recovered* tasks (work re-enqueued after
+#: its executor died mid-flight) — strictly ahead even of queued solo
+#: tasks: the lost task's request has already waited one full execution
+#: attempt, so recovery runs head-of-line or its latency doubles.
+RECOVERY_VTIME = -2.0
+
 
 def fair_interleave(
     unit_workloads: Sequence[Sequence[float]],
@@ -130,6 +136,12 @@ class FairTaskQueue(Generic[T]):
     def push_solo(self, item: T) -> None:
         """Enqueue a solo task ahead of every batched unit."""
         self.push(SOLO_VTIME, item)
+
+    def push_recovered(self, item: T) -> None:
+        """Re-enqueue a task lost to a dead executor, head-of-line:
+        ahead of queued solo tasks and every batched unit (the sharded
+        service's crash-recovery re-dispatch path)."""
+        self.push(RECOVERY_VTIME, item)
 
     def push_job(
         self, items: Sequence[T], workloads: Sequence[float]

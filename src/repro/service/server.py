@@ -114,6 +114,10 @@ def response_to_json(
         # Build-vs-enumerate time, client-visible without server logs.
         "phase_seconds": dict(response.stats.phase_seconds),
     }
+    if response.shard_fanout is not None:
+        # Only the sharded tier stamps fan-out; single-process responses
+        # keep their historical wire shape byte-for-byte.
+        out["shards"] = response.shard_fanout
     if include_embeddings:
         out["embeddings"] = [
             [int(v) for v in embedding] for embedding in response.embeddings

@@ -87,12 +87,41 @@ from .cache import IndexCache
 from .request import MatchRequest, MatchResponse, Status
 from .scheduler import FairTaskQueue
 
-__all__ = ["MatchService", "PendingMatch", "service_metric_specs"]
+__all__ = [
+    "MatchService",
+    "PendingMatch",
+    "service_metric_specs",
+    "rejected_response",
+]
 
 #: How long a worker blocks on one ``pop`` before re-checking whether it
 #: has been condemned by the watchdog.  Bounds how quickly a condemned
 #: (but idle) thread notices and exits.
 _POP_INTERVAL = 0.1
+
+
+def rejected_response(
+    request: MatchRequest,
+    inflight: int,
+    max_pending: int,
+    metrics: MetricsRegistry,
+    flight: Optional[FlightRecorder],
+) -> MatchResponse:
+    """The admission-shed outcome, shared verbatim by the single-process
+    and sharded services: count it, flight-record it, and build the
+    ``REJECTED`` response — the request never touches shared state."""
+    metrics.inc("service_requests_total", label=Status.REJECTED)
+    error = f"queue depth {inflight} at limit {max_pending}"
+    if flight is not None:
+        record = flight.begin(request.request_id)
+        record.event("admit", outcome="rejected", queue_depth=inflight)
+        record.event("final", status=Status.REJECTED)
+        record.finish(status=Status.REJECTED, error=error)
+    return MatchResponse(
+        request_id=request.request_id,
+        status=Status.REJECTED,
+        error=error,
+    )
 
 
 def service_metric_specs() -> Tuple[MetricSpec, ...]:
@@ -538,25 +567,9 @@ class MatchService:
             if self._closed:
                 raise RuntimeError("service is closed")
             if self._inflight >= self.max_pending:
-                self.metrics.inc(
-                    "service_requests_total", label=Status.REJECTED
-                )
-                error = (
-                    f"queue depth {self._inflight} at limit "
-                    f"{self.max_pending}"
-                )
-                if self.flight is not None:
-                    record = self.flight.begin(request.request_id)
-                    record.event(
-                        "admit", outcome="rejected",
-                        queue_depth=self._inflight,
-                    )
-                    record.event("final", status=Status.REJECTED)
-                    record.finish(status=Status.REJECTED, error=error)
-                pending._resolve(MatchResponse(
-                    request_id=request.request_id,
-                    status=Status.REJECTED,
-                    error=error,
+                pending._resolve(rejected_response(
+                    request, self._inflight, self.max_pending,
+                    self.metrics, self.flight,
                 ))
                 return pending
             self._inflight += 1

@@ -107,6 +107,104 @@ class TestDistributePivots:
             distribute_pivots(data, [0], 0)
 
 
+class TestDistributePivotsEdgeCases:
+    """Property checks on the degenerate shapes the sharded service
+    tier feeds the partitioner (DESIGN.md §14): whatever the pivot set
+    looks like, every pivot lands exactly once and no machine carries
+    more than the bounded-imbalance share of the workload."""
+
+    @staticmethod
+    def _assert_exact_cover(machines, pivots):
+        placed = sorted(v for ms in machines for v in ms)
+        assert placed == sorted(pivots), "pivot lost or duplicated"
+
+    @staticmethod
+    def _assert_bounded_imbalance(data, machines, mode):
+        loads = [
+            sum(lightweight_workload(data, v, mode) for v in ms)
+            for ms in machines
+        ]
+        total = sum(loads)
+        if total == 0:
+            return
+        nonempty = [load for load in loads if load]
+        # One indivisible pivot can dominate, but no machine may exceed
+        # the largest single workload plus its fair share of the rest.
+        biggest = max(
+            lightweight_workload(data, v, mode)
+            for ms in machines
+            for v in ms
+        )
+        bound = biggest + total / len(machines)
+        assert max(nonempty) <= bound + 1e-9
+
+    @pytest.mark.parametrize("mode", ["memory", "shared"])
+    @pytest.mark.parametrize("machines", [1, 2, 4, 7])
+    def test_empty_pivot_set(self, data, mode, machines):
+        parts = distribute_pivots(data, [], machines, mode=mode)
+        assert len(parts) == machines
+        assert all(part == [] for part in parts)
+
+    def test_edgeless_graph_zero_workloads(self):
+        # Every workload is 0.0: the greedy assignment must still place
+        # each pivot exactly once instead of dividing by the zero total.
+        g = Graph(10, [])
+        parts = distribute_pivots(g, list(range(10)), 3)
+        self._assert_exact_cover(parts, list(range(10)))
+
+    @pytest.mark.parametrize("mode", ["memory", "shared"])
+    def test_fewer_pivots_than_machines(self, data, mode):
+        pivots = [0, 1]
+        parts = distribute_pivots(data, pivots, 8, mode=mode)
+        assert len(parts) == 8
+        self._assert_exact_cover(parts, pivots)
+        # No machine hoards both while six sit idle — unless Jaccard
+        # pinning demands it, which the shared mode never does.
+        if mode == "shared":
+            assert max(len(part) for part in parts) == 1
+
+    def test_all_equal_degrees_balance_by_count(self):
+        # A cycle: every vertex has degree 2, so the only workload skew
+        # is the (n - v)/n vertex-id scaling; counts must still split
+        # near-evenly.
+        n = 24
+        g = Graph(n, [(v, (v + 1) % n) for v in range(n)])
+        parts = distribute_pivots(g, list(range(n)), 4, mode="shared")
+        self._assert_exact_cover(parts, list(range(n)))
+        sizes = sorted(len(part) for part in parts)
+        assert sizes[-1] - sizes[0] <= 2
+        self._assert_bounded_imbalance(g, parts, "shared")
+
+    def test_single_giant_degree_pivot(self):
+        # A star center dwarfs every leaf; it must be isolated on its
+        # own machine, with the leaves spread over the remaining ones.
+        n = 41
+        g = Graph(n, [(0, v) for v in range(1, n)])
+        pivots = list(range(n))
+        parts = distribute_pivots(g, pivots, 4, mode="shared")
+        self._assert_exact_cover(parts, pivots)
+        home = next(part for part in parts if 0 in part)
+        assert home == [0], "giant pivot must not drag leaves along"
+        self._assert_bounded_imbalance(g, parts, "shared")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_seeded_shapes_cover_and_balance(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        g = power_law(rng.randint(20, 120), rng.randint(2, 5), seed=seed)
+        pivots = sorted(
+            rng.sample(range(g.num_vertices),
+                       rng.randint(1, g.num_vertices))
+        )
+        machines = rng.randint(1, 6)
+        mode = rng.choice(["memory", "shared"])
+        parts = distribute_pivots(g, pivots, machines, mode=mode)
+        assert len(parts) == machines
+        self._assert_exact_cover(parts, pivots)
+        self._assert_bounded_imbalance(g, parts, mode)
+
+
 class TestStorageModels:
     def test_in_memory_charges_nothing(self, data):
         storage = InMemoryStorage(data)

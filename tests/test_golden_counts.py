@@ -48,6 +48,10 @@ MODES = [
     # instance directly.
     "batch",
     "recursive-compact",
+    # Sharded tier (DESIGN.md §14): the same instances answered by the
+    # multi-process ShardedMatchService — pivot partitions fanned across
+    # two shard processes over a shared mmap'd index, merged exactly.
+    "sharded",
 ]
 
 
@@ -145,6 +149,8 @@ INSTANCES: Dict[str, Callable[[], Tuple[Graph, Graph]]] = {
 def count_with(query: Graph, data: Graph, mode: str) -> int:
     if mode.startswith("service-"):
         return _service_count(query, data, warm=mode == "service-warm")
+    if mode == "sharded":
+        return _sharded_count(query, data)
     if mode in ("batch", "recursive-compact"):
         matcher = CECIMatcher(
             query,
@@ -175,6 +181,16 @@ def _service_count(query: Graph, data: Graph, warm: bool) -> int:
                 MatchRequest(query, break_automorphisms=False)
             )
             assert response.ok and response.cache == "hit", response.cache
+        return response.count
+
+
+def _sharded_count(query: Graph, data: Graph) -> int:
+    from repro.service import MatchRequest
+    from repro.service.shards import ShardedMatchService
+
+    with ShardedMatchService(data, shards=2) as service:
+        response = service.match(MatchRequest(query, break_automorphisms=False))
+        assert response.ok, (response.status, response.error)
         return response.count
 
 

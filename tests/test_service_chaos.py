@@ -15,10 +15,17 @@ Each test injects one deterministic fault class through
 * a wedged worker is condemned by the watchdog, its request is failed
   ``TIMEOUT``, and a replacement thread restores the pool.
 
+The sharded tier (DESIGN.md §14) gets the same treatment with its own
+fault classes: a shard *process* killed mid-query is respawned and its
+lost task redispatched (answer still exact); a torn shared-mmap
+publish is caught by the CECIIDX3 checksums in every shard and
+republished from pristine bytes; a stalled shard trips the request
+deadline and the tier stays healthy afterwards.
+
 The ``@pytest.mark.slow`` suite at the bottom runs the full
 :func:`~repro.service.loadgen.run_chaos` harness (all fault classes at
-once) and gates on the acceptance bar: zero wrong results, accurate
-failure statuses, full-strength pool.
+once, thread-pool and sharded) and gates on the acceptance bar: zero
+wrong results, accurate failure statuses, full-strength pool.
 """
 
 from __future__ import annotations
@@ -298,6 +305,107 @@ def test_watchdog_condemns_wedged_worker():
 
 
 # ----------------------------------------------------------------------
+# Shard-process fault classes (DESIGN.md §14)
+# ----------------------------------------------------------------------
+
+def test_shard_crash_respawned_and_redispatched():
+    """The first task dispatched to shard 0 kills the shard *process*
+    mid-query.  The reader thread notices the dead pipe, respawns the
+    shard, redispatches the lost task, and the merged answer is still
+    exact — the crash is invisible to the caller."""
+    from repro.service.shards import ShardedMatchService
+
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, shard_crash_picks=frozenset({(0, 0)}))
+    with ShardedMatchService(data, shards=2, fault_plan=plan) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.ok, response.error
+        assert response.count == counts[0]
+        assert service.metrics.get("service_shard_crashes") >= 1
+        assert service.metrics.get("service_shard_respawns") >= 1
+        assert service.metrics.get("service_shard_redispatches") >= 1
+        assert service.healthy_workers() == 2
+        # Recovery must not have corrupted the tier: a repeat request
+        # (warm index) still answers exactly.
+        again = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert again.ok and again.count == counts[0]
+
+
+def test_shard_crash_redispatch_exhausted_is_crashed():
+    """Every incarnation of every shard dies on every task: the bounded
+    redispatch budget runs out and the caller gets an honest CRASHED,
+    not a hang — and the supervisor still restores the processes."""
+    from repro.service.shards import ShardedMatchService
+
+    data, queries, _ = _workload()
+    plan = FaultPlan(
+        seed=1,
+        shard_crash_picks=frozenset(
+            (shard, pick) for shard in range(2) for pick in range(64)
+        ),
+    )
+    with ShardedMatchService(
+        data, shards=2, fault_plan=plan, max_redispatch=2
+    ) as service:
+        response = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, limit=10_000,
+        ))
+        assert response.status == Status.CRASHED
+        assert response.embeddings == []
+        assert service.metrics.get("service_shard_crashes") >= 3
+
+
+def test_torn_publish_detected_and_republished():
+    """The first shared-index publish is torn mid-write (short file).
+    Every shard's mmap load CRC-fails on it; the parent republishes the
+    pristine bytes once (idempotently) and the request completes with
+    the exact answer — garbage is never enumerated."""
+    from repro.service.shards import ShardedMatchService
+
+    data, queries, counts = _workload()
+    plan = FaultPlan(seed=1, publish_torn_picks=frozenset({0}))
+    with ShardedMatchService(data, shards=2, fault_plan=plan) as service:
+        response = service.match(
+            MatchRequest(queries[0], break_automorphisms=False)
+        )
+        assert response.ok, response.error
+        assert response.count == counts[0]
+        assert service.metrics.get("service_shard_corrupt_loads") >= 1
+        # One repair no matter how many shards tripped on the torn file.
+        assert service.metrics.get("service_shard_republishes") == 1
+
+
+def test_shard_stall_trips_deadline_then_recovers():
+    """Both shards stall on their first task past the request deadline:
+    the monitor resolves TIMEOUT without waiting for the stall, and
+    once it clears the tier answers exactly again."""
+    from repro.service.shards import ShardedMatchService
+
+    data, queries, counts = _workload()
+    plan = FaultPlan(
+        seed=1,
+        shard_stall_picks=frozenset({(0, 0), (1, 0)}),
+        shard_stall_seconds=1.0,
+    )
+    with ShardedMatchService(data, shards=2, fault_plan=plan) as service:
+        stalled = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, deadline_seconds=0.2,
+        ))
+        assert stalled.status == Status.TIMEOUT
+        assert stalled.embeddings == []
+        recovered = service.match(MatchRequest(
+            queries[0], break_automorphisms=False, deadline_seconds=30.0,
+        ))
+        assert recovered.ok, recovered.error
+        assert recovered.count == counts[0]
+        assert service.healthy_workers() == 2
+
+
+# ----------------------------------------------------------------------
 # The full seeded suite (the CI chaos job runs this)
 # ----------------------------------------------------------------------
 
@@ -354,3 +462,37 @@ def test_chaos_with_stalls_and_deadline():
     assert report["wrong_results"] == []
     assert report["statuses"][Status.TIMEOUT] >= 1
     assert report["pool_full_strength"]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 13])
+def test_seeded_shard_chaos_zero_wrong_results(seed):
+    """The chaos harness against the sharded tier: shard-process kills,
+    per-shard stalls and torn shared-index publishes all at once.  No
+    completed request may disagree with the sequential matcher, and
+    every shard process must be alive again at the end."""
+    data = inject_labels(power_law(300, 3, seed=2), 4, seed=2)
+    report = run_chaos(
+        data,
+        num_queries=4,
+        requests=24,
+        seed=seed,
+        shards=2,
+        shard_crash_fraction=0.15,
+        shard_stall_fraction=0.1,
+        shard_stall_seconds=0.05,
+        publish_torn_fraction=0.3,
+        deadline_seconds=30.0,
+    )
+    assert report["wrong_results"] == []
+    assert report["pool_full_strength"], report["healthy_workers"]
+    statuses = report["statuses"]
+    assert sum(statuses.values()) == 24
+    assert report["availability"] >= 0.6
+    injected = report["injected"]
+    assert (
+        injected["shard_crashes"]
+        + injected["shard_stalls"]
+        + injected["torn_publishes"]
+        > 0
+    ), "the seeded plan must actually inject shard faults"
